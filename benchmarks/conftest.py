@@ -1,0 +1,39 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one table or figure of the paper and prints the
+same rows/series the paper reports.  Because several experiments involve
+training and full evaluation sweeps, the harness defaults to the scaled-down
+``fast`` experiment configuration; set ``REPRO_BENCH_PROFILE=full`` to rerun
+everything at the full configuration used for EXPERIMENTS.md (several
+minutes per figure).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+
+def bench_config() -> ExperimentConfig:
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "fast").lower()
+    if profile == "full":
+        return ExperimentConfig.full()
+    return ExperimentConfig.fast()
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    return bench_config()
+
+
+def run_and_print(benchmark, experiment_module, config):
+    """Run one experiment module under pytest-benchmark and print its tables."""
+    result = benchmark.pedantic(
+        experiment_module.run, kwargs={"config": config}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    return result

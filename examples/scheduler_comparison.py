@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Compare every warp-scheduling policy on a chosen benchmark.
+
+Runs GTO, SWL, CCWS, PCAL-SWL, random-restart search, APCM, Poise and the
+Static-Best oracle on the same kernels and prints a compact comparison of
+throughput, cache behaviour, memory latency and energy — the per-benchmark
+slice of Figures 7, 8, 9, 14 and 15.
+
+Run with::
+
+    python examples/scheduler_comparison.py [--benchmark mm] [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    run_scheme_on_benchmark,
+    train_or_load_model,
+)
+
+SCHEMES = ("gto", "swl", "ccws", "pcal", "random_restart", "apcm", "poise", "static_best")
+LABELS = {
+    "gto": "GTO (baseline)",
+    "swl": "SWL",
+    "ccws": "CCWS (dynamic)",
+    "pcal": "PCAL-SWL",
+    "random_restart": "Random-restart",
+    "apcm": "APCM bypass",
+    "poise": "Poise",
+    "static_best": "Static-Best",
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="mm")
+    parser.add_argument("--fast", action="store_true")
+    args = parser.parse_args()
+
+    config = ExperimentConfig.fast() if args.fast else ExperimentConfig.full()
+    model = train_or_load_model(config)
+
+    print(f"benchmark: {args.benchmark} ({config.label} configuration)")
+    header = f"{'scheme':<16s} {'speedup':>8s} {'L1 hit':>7s} {'AML/GTO':>8s} {'energy/GTO':>10s}"
+    print(header)
+    print("-" * len(header))
+    for scheme in SCHEMES:
+        outcome = run_scheme_on_benchmark(scheme, args.benchmark, config, model=model)
+        print(
+            f"{LABELS[scheme]:<16s} {outcome.speedup:>7.3f}x {outcome.l1_hit_rate:>6.1%} "
+            f"{outcome.aml_ratio:>8.3f} {outcome.energy_ratio:>10.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""The full Poise workflow: offline training, deployment, online inference.
+
+Mirrors the split of responsibilities in the paper:
+
+1. *GPU vendor, offline* — profile the training benchmarks over the
+   warp-tuple plane, score the grids, fit the Negative Binomial regressions
+   and serialise the feature weights (Section V).
+2. *Compiler* — ship the weights with the application (here: a JSON file).
+3. *Hardware, online* — the inference engine loads the weights, samples the
+   feature vector with performance counters and predicts + locally searches
+   the warp-tuple for kernels it has never seen (Section VI).
+
+Run with::
+
+    python examples/train_and_deploy.py [--fast] [--model /tmp/poise_model.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro.core.model_store import load_model, save_model
+from repro.core.training import prediction_errors
+from repro.experiments.common import ExperimentConfig, run_scheme_on_benchmark
+from repro.workloads.registry import evaluation_benchmarks, training_benchmarks
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="scaled-down configuration")
+    parser.add_argument("--model", type=Path, default=None, help="where to save the model")
+    parser.add_argument(
+        "--deploy-on", default="mvt", help="unseen benchmark to optimise after training"
+    )
+    args = parser.parse_args()
+
+    config = ExperimentConfig.fast() if args.fast else ExperimentConfig.full()
+    model_path = args.model or Path(tempfile.gettempdir()) / "poise_model.json"
+
+    # 1. Offline training (the vendor side).
+    pipeline = config.training_pipeline()
+    benchmarks = [
+        config.limited_benchmark(benchmark, training=True)
+        for benchmark in training_benchmarks()
+    ]
+    print(f"[offline] profiling {sum(len(b.kernels) for b in benchmarks)} training kernels ...")
+    model, examples = pipeline.train(benchmarks)
+    error_n, error_p = prediction_errors(model, examples)
+    print(f"[offline] trained on {model.num_training_kernels} kernels "
+          f"(training error: N {error_n:.1%}, p {error_p:.1%})")
+
+    # 2. The compiler hand-off: weights travel as a file.
+    save_model(model, model_path)
+    print(f"[compiler] feature weights written to {model_path}")
+
+    # 3. Online inference on an application that was never profiled.
+    deployed = load_model(model_path)
+    unseen = [benchmark.name for benchmark in evaluation_benchmarks()]
+    assert args.deploy_on in unseen, f"{args.deploy_on} is not an unseen benchmark"
+    print(f"[online] running Poise on unseen benchmark {args.deploy_on!r} ...")
+    gto = run_scheme_on_benchmark("gto", args.deploy_on, config)
+    poise = run_scheme_on_benchmark("poise", args.deploy_on, config, model=deployed)
+    print(f"[online] GTO IPC {gto.ipc:.3f} -> Poise IPC {poise.ipc:.3f} "
+          f"(speedup {poise.speedup:.3f}x, L1 hit {gto.l1_hit_rate:.1%} -> {poise.l1_hit_rate:.1%})")
+    for kernel, telemetry in poise.telemetry.items():
+        print(f"[online] {kernel}: epochs={telemetry['epochs']} "
+              f"predicted={telemetry['predicted_tuples']} searched={telemetry['searched_tuples']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments whose setuptools predates native
+PEP 660 editable installs (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

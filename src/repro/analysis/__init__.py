@@ -1,0 +1,5 @@
+"""Result containers and table formatting shared by every experiment."""
+
+from repro.analysis.tables import ExperimentResult, Table, format_table
+
+__all__ = ["ExperimentResult", "Table", "format_table"]

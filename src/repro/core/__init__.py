@@ -1,0 +1,44 @@
+"""Poise: the paper's primary contribution.
+
+Two halves, mirroring Fig. 3 of the paper:
+
+* the **machine learning framework** — an analytical model that motivates the
+  feature vector (:mod:`repro.core.analytical`, :mod:`repro.core.features`),
+  neighbourhood scoring of profiled kernels (:mod:`repro.core.scoring`), and
+  a Negative Binomial regression trained offline on profiled kernels
+  (:mod:`repro.core.regression`, :mod:`repro.core.training`);
+* the **hardware inference engine** — a runtime FSM that samples the feature
+  vector with performance counters, applies the link function to predict a
+  warp-tuple, and refines it with a stride-halving local search
+  (:mod:`repro.core.inference`), driving the modified GTO warp scheduler
+  (:mod:`repro.core.poise`).
+"""
+
+from repro.core.analytical import AnalyticalModel, WarpTupleScenario
+from repro.core.features import FeatureVector, FeatureSampler, FEATURE_NAMES
+from repro.core.inference import HardwareInferenceEngine, PoiseParameters
+from repro.core.model_store import load_model, save_model
+from repro.core.poise import PoiseController
+from repro.core.regression import NegativeBinomialRegression, PoissonRegression
+from repro.core.scoring import score_grid, select_training_target
+from repro.core.training import TrainedModel, TrainingExample, TrainingPipeline
+
+__all__ = [
+    "AnalyticalModel",
+    "FEATURE_NAMES",
+    "FeatureSampler",
+    "FeatureVector",
+    "HardwareInferenceEngine",
+    "NegativeBinomialRegression",
+    "PoiseController",
+    "PoiseParameters",
+    "PoissonRegression",
+    "TrainedModel",
+    "TrainingExample",
+    "TrainingPipeline",
+    "WarpTupleScenario",
+    "load_model",
+    "save_model",
+    "score_grid",
+    "select_training_target",
+]

@@ -1,0 +1,204 @@
+"""The analytical model of Section V-A (Equations 1-11).
+
+The model expresses when memory latencies appear in the critical path of an
+SM and how the stall cycles change when the warp-tuple moves from the
+baseline (maximum warps, all polluting) to a reduced tuple ``{N, p}``.  Its
+purpose in the paper — and here — is twofold:
+
+* it identifies the observable quantities that govern whether a warp-tuple
+  produces speedup, which become the regression's feature vector, and
+* it provides a closed-form *goodness coefficient* ``mu`` (Eq. 8/9) that can
+  be evaluated for any candidate tuple, which the test-suite uses to check
+  that the simulator and the theory agree on direction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WarpTupleScenario:
+    """Inputs of the analytical model for one ``{N, p}`` scenario.
+
+    The symbols follow Table Ia of the paper:
+
+    Attributes:
+        n_warps: the number of vital warps ``N``.
+        p_warps: the number of cache-polluting warps ``p`` (``p <= N``).
+        miss_rate_baseline: ``m_o``, L1 miss rate of the baseline system.
+        latency_baseline: ``L_o``, average memory latency in the baseline.
+        hit_rate_polluting: ``h_p``, L1 hit rate of the ``p`` polluting warps.
+        hit_rate_nonpolluting: ``h_np``, L1 hit rate of the ``N - p`` others.
+        latency_tuple: ``L'``, average memory latency under the tuple.
+        independent_instructions: ``I_d``, instructions available between
+            adjacent data hazards.
+        pipeline_cycles: ``T_pipe``, pipelined execution cycles per warp
+            instruction.
+        mshr_entries: ``K_mshr``, MSHR entries in the L1.
+    """
+
+    n_warps: int
+    p_warps: int
+    miss_rate_baseline: float
+    latency_baseline: float
+    hit_rate_polluting: float
+    hit_rate_nonpolluting: float
+    latency_tuple: float
+    independent_instructions: float
+    pipeline_cycles: float
+    mshr_entries: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.p_warps <= self.n_warps:
+            raise ValueError("scenario requires 1 <= p <= N")
+        for name in ("miss_rate_baseline", "hit_rate_polluting", "hit_rate_nonpolluting"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a rate in [0, 1]")
+        if self.mshr_entries < 1:
+            raise ValueError("mshr_entries must be positive")
+
+    @property
+    def hit_rate_baseline(self) -> float:
+        """``h_o = 1 - m_o``."""
+        return 1.0 - self.miss_rate_baseline
+
+    @property
+    def miss_rate_polluting(self) -> float:
+        return 1.0 - self.hit_rate_polluting
+
+    @property
+    def miss_rate_nonpolluting(self) -> float:
+        return 1.0 - self.hit_rate_nonpolluting
+
+
+class AnalyticalModel:
+    """Closed-form expressions of Equations 1-11."""
+
+    def __init__(self, scenario: WarpTupleScenario) -> None:
+        self.scenario = scenario
+
+    # -- baseline system (maximum warps) -------------------------------------------
+
+    def t_mem_baseline(self) -> float:
+        """Eq. 1 — effective memory latency with maximum warps."""
+        s = self.scenario
+        return s.latency_baseline * math.ceil(
+            s.n_warps * s.miss_rate_baseline / s.mshr_entries
+        )
+
+    def t_busy_baseline(self) -> float:
+        """Eq. 2 — cycles of useful work enabled by baseline L1 hits."""
+        s = self.scenario
+        return (
+            s.n_warps
+            * s.hit_rate_baseline
+            * s.independent_instructions
+            * s.pipeline_cycles
+        )
+
+    def t_stall_baseline(self) -> float:
+        """Eq. 3 — exposed stall cycles in the baseline."""
+        return max(self.t_mem_baseline() - self.t_busy_baseline(), 0.0)
+
+    # -- reduced tuple {N, p} -------------------------------------------------------
+
+    def t_mem_tuple(self) -> float:
+        """Eq. 4 — effective memory latency under the warp-tuple."""
+        s = self.scenario
+        concurrent_misses = (
+            s.miss_rate_nonpolluting * (s.n_warps - s.p_warps)
+            + s.miss_rate_polluting * s.p_warps
+        )
+        return s.latency_tuple * math.ceil(concurrent_misses / s.mshr_entries)
+
+    def t_busy_tuple(self) -> float:
+        """Eq. 5 — useful cycles under the warp-tuple."""
+        s = self.scenario
+        hits = s.p_warps * s.hit_rate_polluting + (s.n_warps - s.p_warps) * s.hit_rate_nonpolluting
+        return hits * s.independent_instructions * s.pipeline_cycles
+
+    def t_stall_tuple(self) -> float:
+        """Eq. 6 — exposed stall cycles under the warp-tuple."""
+        return max(self.t_mem_tuple() - self.t_busy_tuple(), 0.0)
+
+    # -- speedup criterion ----------------------------------------------------------
+
+    def delta_t_busy(self) -> float:
+        return self.t_busy_tuple() - self.t_busy_baseline()
+
+    def delta_t_mem(self) -> float:
+        return self.t_mem_tuple() - self.t_mem_baseline()
+
+    def predicts_speedup(self) -> bool:
+        """Eq. 7 — the tuple reduces stalls relative to the baseline."""
+        return self.t_stall_tuple() < self.t_stall_baseline()
+
+    def mu(self) -> float:
+        """Eq. 8/9 — coefficient of goodness ``mu = dT_busy / dT_mem``.
+
+        ``mu > 1`` is the speedup criterion.  The ceil functions are dropped
+        (as the paper does for Eq. 9) so the quantity is smooth.
+        """
+        s = self.scenario
+        delta_busy = (
+            s.p_warps * (s.hit_rate_polluting - s.hit_rate_baseline)
+            + (s.n_warps - s.p_warps) * (s.hit_rate_nonpolluting - s.hit_rate_baseline)
+        ) * s.independent_instructions * s.pipeline_cycles
+        delta_mem = (
+            s.p_warps
+            * (s.miss_rate_polluting * s.latency_tuple - s.miss_rate_baseline * s.latency_baseline)
+            + (s.n_warps - s.p_warps)
+            * (
+                s.miss_rate_nonpolluting * s.latency_tuple
+                - s.miss_rate_baseline * s.latency_baseline
+            )
+        ) / s.mshr_entries
+        if delta_mem == 0:
+            return math.inf if delta_busy > 0 else 0.0
+        value = delta_busy / delta_mem
+        # A negative dT_mem (the tuple *reduces* memory pressure) with more
+        # busy work is unambiguously good; report it as a large mu.
+        if delta_mem < 0:
+            return math.inf if delta_busy >= 0 else abs(value)
+        return value
+
+    def mu_p_over_np(self) -> float:
+        """Eq. 11 — the objective function ``mu_{p/np}``.
+
+        The ratio of the busy-cycle gain contributed by the ``p`` polluting
+        warps to the memory-latency penalty contributed by the ``N - p``
+        non-polluting warps.
+        """
+        s = self.scenario
+        if s.n_warps == s.p_warps:
+            return math.inf
+        delta_h = s.hit_rate_polluting - s.hit_rate_baseline
+        denominator = (
+            s.miss_rate_nonpolluting * s.latency_tuple
+            - s.miss_rate_baseline * s.latency_baseline
+        )
+        if denominator <= 0:
+            return math.inf if delta_h > 0 else 0.0
+        return (
+            (s.pipeline_cycles / s.mshr_entries)
+            * (s.p_warps / (s.n_warps - s.p_warps))
+            * (s.independent_instructions * delta_h / denominator)
+        )
+
+    def mu_np_over_p(self) -> float:
+        """The symmetric counterpart ``mu_{np/p}`` of Eq. 10."""
+        s = self.scenario
+        delta_h = s.hit_rate_nonpolluting - s.hit_rate_baseline
+        denominator = (
+            s.miss_rate_polluting * s.latency_tuple
+            - s.miss_rate_baseline * s.latency_baseline
+        )
+        numerator = (s.n_warps - s.p_warps) * delta_h * (
+            s.independent_instructions * s.pipeline_cycles
+        )
+        if denominator <= 0:
+            return math.inf if numerator >= 0 else 0.0
+        return numerator / (s.p_warps * denominator / s.mshr_entries) / s.mshr_entries

@@ -1,0 +1,62 @@
+"""Hardware cost accounting (Section VII-I).
+
+Poise's storage overhead per SM consists of:
+
+* seven 32-bit performance counters to collect the feature inputs,
+* two 3-bit state registers for the seven-state inference FSM,
+* one vital bit and one pollute bit per warp-queue entry (48 warps per SM).
+
+The paper totals this to ~40.75 bytes per SM (~1,304 bytes chip-wide, well
+under 0.01% of the die).  This module recomputes the figure from the same
+inventory so the claim can be regenerated (and checked in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HardwareCostModel:
+    """Per-SM storage inventory of Poise."""
+
+    performance_counters: int = 7
+    counter_bits: int = 32
+    fsm_state_registers: int = 2
+    fsm_state_bits: int = 3
+    warps_per_sm: int = 48
+    bits_per_warp: int = 2  # vital + pollute
+    num_sms: int = 32
+
+    @property
+    def counter_bits_total(self) -> int:
+        return self.performance_counters * self.counter_bits
+
+    @property
+    def fsm_bits_total(self) -> int:
+        return self.fsm_state_registers * self.fsm_state_bits
+
+    @property
+    def warp_bits_total(self) -> int:
+        return self.warps_per_sm * self.bits_per_warp
+
+    @property
+    def bits_per_sm(self) -> int:
+        return self.counter_bits_total + self.fsm_bits_total + self.warp_bits_total
+
+    @property
+    def bytes_per_sm(self) -> float:
+        return self.bits_per_sm / 8.0
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_per_sm * self.num_sms
+
+    def breakdown(self) -> dict:
+        return {
+            "performance_counter_bits": self.counter_bits_total,
+            "fsm_bits": self.fsm_bits_total,
+            "warp_queue_bits": self.warp_bits_total,
+            "bytes_per_sm": self.bytes_per_sm,
+            "bytes_total": self.bytes_total,
+        }

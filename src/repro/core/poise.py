@@ -1,0 +1,60 @@
+"""Poise's runtime controller: the glue between the HIE and the scheduler.
+
+The controller owns a :class:`HardwareInferenceEngine` and repeats inference
+epochs until the kernel completes (or the cycle budget runs out), exactly as
+the paper's per-SM hardware does.  Predictions are reset at the start of
+every epoch, so long kernels with phase behaviour get re-optimised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.inference import HardwareInferenceEngine, PoiseParameters
+from repro.core.training import TrainedModel
+
+
+class PoiseController:
+    """Drives an SM with Poise's predict-search-run loop.
+
+    Instances satisfy the *controller* protocol of
+    :meth:`repro.gpu.gpu.GPU.run_kernel` (an ``execute(sm, max_cycles)``
+    method returning a telemetry dictionary).
+    """
+
+    def __init__(
+        self,
+        model: TrainedModel,
+        params: Optional[PoiseParameters] = None,
+    ) -> None:
+        self.model = model
+        self.params = params or PoiseParameters.paper()
+
+    def execute(self, sm, max_cycles: int) -> Dict:
+        engine = HardwareInferenceEngine(self.model, self.params)
+        max_warps = min(sm.config.max_warps, len(sm.warps))
+        end_cycle = sm.cycle + max_cycles
+        # A new inference epoch (prediction + search) is only worth starting
+        # when enough of the epoch remains for the converged tuple to run;
+        # otherwise the engine keeps the previously converged tuple, exactly
+        # as the hardware would between epoch boundaries.
+        min_epoch_budget = max(self.params.t_period // 2, 4 * self.params.t_feature)
+        while not sm.done and (end_cycle - sm.cycle) >= min_epoch_budget:
+            engine.run_epoch(sm, max_warps=max_warps, cycle_budget=end_cycle - sm.cycle)
+        if not sm.done and sm.cycle < end_cycle:
+            if engine.epochs:
+                sm.set_warp_tuple(*engine.epochs[-1].searched)
+            sm.run_cycles(end_cycle - sm.cycle)
+        mean_n, mean_p, mean_euclid = engine.mean_displacement()
+        return {
+            "epochs": len(engine.epochs),
+            "predicted_tuples": [record.predicted for record in engine.epochs],
+            "searched_tuples": [record.searched for record in engine.epochs],
+            "visited_tuples": [tuple(record.visited) for record in engine.epochs],
+            "compute_intensive_epochs": sum(
+                1 for record in engine.epochs if record.compute_intensive
+            ),
+            "mean_displacement_n": mean_n,
+            "mean_displacement_p": mean_p,
+            "mean_displacement_euclidean": mean_euclid,
+        }

@@ -1,0 +1,92 @@
+"""Neighbourhood scoring of profiled kernels (Section V-C, Eq. 12).
+
+Training directly for the highest-performing warp-tuple is risky when that
+peak sits next to a performance cliff: a small prediction error falls off the
+cliff.  The paper therefore scores every point of the profiled grid as a
+weighted sum of its own speedup and its neighbours' speedups (normalised by
+the number of neighbours actually present), and trains towards the point
+with the best score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+#: Default scoring weights (Table IV): self, edge-adjacent, diagonal.
+DEFAULT_WEIGHTS: Tuple[float, float, float] = (1.0, 0.50, 0.25)
+
+GridPoint = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ScoredPoint:
+    point: GridPoint
+    score: float
+    speedup: float
+
+
+def score_point(
+    grid: Mapping[GridPoint, float],
+    point: GridPoint,
+    weights: Sequence[float] = DEFAULT_WEIGHTS,
+) -> float:
+    """Score one point of the speedup grid (Eq. 12).
+
+    The score is the weighted sum of the speedup at the point and at its
+    (up to) eight neighbours, normalised by the weights of the neighbours
+    that exist — boundary points and sparsely profiled grids are therefore
+    not penalised for having fewer neighbours.
+    """
+    if point not in grid:
+        raise KeyError(f"point {point} is not in the profiled grid")
+    a, b = point
+    total = 0.0
+    weight_sum = 0.0
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            neighbour = (a + di, b + dj)
+            if neighbour not in grid:
+                continue
+            weight = weights[abs(di) + abs(dj)]
+            total += weight * grid[neighbour]
+            weight_sum += weight
+    if weight_sum == 0:
+        return 0.0
+    return total / weight_sum
+
+
+def score_grid(
+    grid: Mapping[GridPoint, float],
+    weights: Sequence[float] = DEFAULT_WEIGHTS,
+) -> Dict[GridPoint, float]:
+    """Score every point of a profiled speedup grid."""
+    return {point: score_point(grid, point, weights) for point in grid}
+
+
+def select_training_target(
+    grid: Mapping[GridPoint, float],
+    weights: Sequence[float] = DEFAULT_WEIGHTS,
+) -> ScoredPoint:
+    """Choose the warp-tuple used as the training target for a kernel.
+
+    The point with the highest score wins; ties break towards the higher
+    raw speedup and then towards fewer vital warps (less TLP pressure).
+    """
+    if not grid:
+        raise ValueError("cannot select a target from an empty grid")
+    scores = score_grid(grid, weights)
+    best = max(
+        scores,
+        key=lambda point: (scores[point], grid[point], -point[0], -point[1]),
+    )
+    return ScoredPoint(point=best, score=scores[best], speedup=grid[best])
+
+
+def best_raw_point(grid: Mapping[GridPoint, float]) -> ScoredPoint:
+    """The unscored performance peak (used by Fig. 5 to contrast with the
+    scored target)."""
+    if not grid:
+        raise ValueError("cannot select a peak from an empty grid")
+    best = max(grid, key=lambda point: (grid[point], -point[0], -point[1]))
+    return ScoredPoint(point=best, score=grid[best], speedup=grid[best])

@@ -1,0 +1,24 @@
+"""Experiment modules — one per table/figure of the paper.
+
+Every module exposes ``run(config: ExperimentConfig | None) -> ExperimentResult``
+and a ``main()`` entry point that prints the result.  The mapping from paper
+table/figure to module is recorded in DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import (
+    EVALUATION_SCHEMES,
+    ExperimentConfig,
+    evaluate_schemes,
+    run_scheme_on_benchmark,
+    run_scheme_on_kernel,
+    train_or_load_model,
+)
+
+__all__ = [
+    "EVALUATION_SCHEMES",
+    "ExperimentConfig",
+    "evaluate_schemes",
+    "run_scheme_on_benchmark",
+    "run_scheme_on_kernel",
+    "train_or_load_model",
+]

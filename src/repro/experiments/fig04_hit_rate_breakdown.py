@@ -1,0 +1,112 @@
+"""Fig. 4 — L1 hit-rate breakdown at (N=max, p=1) for four workloads.
+
+For each workload the paper shows, at one polluting warp:
+
+* the hit rate of the polluting warps (``h_p``),
+* the hit rate of the non-polluting warps (``h_np``),
+* the baseline hit rate with everything polluting (``h_o``),
+* the intra-warp / inter-warp split of baseline hits, and
+* the reuse distance ``R``.
+
+The expected shape: intra-warp-dominated, small-footprint workloads (ii,
+mm-like) show a large ``h_p`` gain over ``h_o`` with ``h_np`` collapsing;
+inter-warp-dominated workloads (ss, cfd-like) keep ``h_np`` close to ``h_o``;
+large-footprint workloads (bfs) show little ``h_p`` gain at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.analysis.tables import ExperimentResult, Table
+from repro.experiments.common import ExperimentConfig
+from repro.gpu.gpu import GPU
+from repro.workloads.generator import generate_kernel_programs
+from repro.workloads.registry import get_benchmark
+
+#: The four workloads characterised by the paper's Fig. 4.  ``cfd`` is not in
+#: the evaluation list; ``ss`` has the same inter-warp-dominated profile and
+#: stands in for it.
+DEFAULT_WORKLOADS = ("ii", "bfs", "syr2k", "ss")
+
+
+def _measure(config: ExperimentConfig, benchmark: str) -> dict:
+    spec = get_benchmark(benchmark).kernels[0]
+    gpu_config = replace(config.gpu, track_reuse_distance=True)
+    programs = generate_kernel_programs(spec)
+    max_warps = min(gpu_config.max_warps, spec.num_warps)
+
+    # Baseline: everything polluting.
+    sm_base = GPU(gpu_config).build_sm(programs)
+    sm_base.set_warp_tuple(max_warps, max_warps)
+    sm_base.run_cycles(config.profile_warmup + config.profile_cycles)
+    base = sm_base.counters
+
+    # One polluting warp.
+    sm_p1 = GPU(gpu_config).build_sm(programs)
+    sm_p1.set_warp_tuple(max_warps, 1)
+    sm_p1.run_cycles(config.profile_warmup + config.profile_cycles)
+    split = sm_p1.counters
+
+    return {
+        "benchmark": benchmark,
+        "h_p": split.polluting_hit_rate,
+        "h_np": split.nonpolluting_hit_rate,
+        "h_o": base.l1_hit_rate,
+        "intra_share": base.intra_warp_hit_share,
+        "inter_share": base.inter_warp_hit_share,
+        "reuse_distance": sm_base.reuse_tracker.average_distance if sm_base.reuse_tracker else 0.0,
+    }
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    workloads: Optional[List[str]] = None,
+) -> ExperimentResult:
+    config = config or ExperimentConfig.full()
+    workloads = list(workloads or DEFAULT_WORKLOADS)
+
+    experiment = ExperimentResult(
+        experiment_id="fig04",
+        description="L1 hit rate breakdown for N=max, p=1",
+    )
+    table = experiment.add_table(
+        Table(
+            title="Fig. 4 — hit-rate breakdown at p=1",
+            columns=[
+                "benchmark",
+                "h_p",
+                "h_np",
+                "h_o (baseline)",
+                "intra-warp hit share",
+                "inter-warp hit share",
+                "reuse distance R",
+            ],
+        )
+    )
+    for name in workloads:
+        row = _measure(config, name)
+        table.add_row(
+            row["benchmark"],
+            row["h_p"],
+            row["h_np"],
+            row["h_o"],
+            row["intra_share"],
+            row["inter_share"],
+            row["reuse_distance"],
+        )
+        experiment.scalars[f"{name}_delta_hp"] = row["h_p"] - row["h_o"]
+    experiment.add_note(
+        "Paper: ii 97% intra-warp hits (R=236), bfs 77% intra (R=1136), syr2k 40% intra "
+        "(R=240), cfd 2% intra (R=3161); large delta h_p for ii/syr2k, small for bfs/cfd."
+    )
+    return experiment
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Fig. 5 — scoring performance peaks to avoid performance cliffs.
+
+For two kernels the paper contrasts the raw performance peak with the
+best-*scoring* point (Eq. 12): the scored target sits in a safer
+neighbourhood even if its raw speedup is slightly lower.  The reproduction
+profiles two kernels, applies the same scoring, and reports both points and
+their speedups; the property to reproduce is ``score-selected speedup <=
+peak speedup`` with the scored point never lying next to a cliff
+(neighbourhood mean higher than the peak's neighbourhood mean).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.tables import ExperimentResult, Table
+from repro.core.scoring import best_raw_point, score_grid, select_training_target
+from repro.experiments.common import ExperimentConfig, get_profile
+from repro.workloads.registry import get_benchmark
+
+DEFAULT_KERNELS: Tuple[Tuple[str, int], ...] = (("ii", 0), ("ii", 1))
+
+
+def _neighbourhood_mean(grid, point) -> float:
+    values = []
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            neighbour = (point[0] + di, point[1] + dj)
+            if neighbour in grid:
+                values.append(grid[neighbour])
+    return sum(values) / len(values) if values else 0.0
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    kernels: Optional[List[Tuple[str, int]]] = None,
+) -> ExperimentResult:
+    config = config or ExperimentConfig.full()
+    kernels = list(kernels or DEFAULT_KERNELS)
+
+    experiment = ExperimentResult(
+        experiment_id="fig05",
+        description="Scoring performance peaks vs cliffs (Eq. 12)",
+    )
+    table = experiment.add_table(
+        Table(
+            title="Fig. 5 — raw peak vs best score",
+            columns=[
+                "kernel",
+                "peak (N,p)",
+                "peak speedup",
+                "scored (N,p)",
+                "scored speedup",
+                "peak nbhd mean",
+                "scored nbhd mean",
+            ],
+        )
+    )
+    for benchmark_name, kernel_index in kernels:
+        benchmark = get_benchmark(benchmark_name)
+        spec = benchmark.kernels[min(kernel_index, len(benchmark.kernels) - 1)]
+        profile = get_profile(spec, config)
+        grid = profile.speedup_grid()
+        peak = best_raw_point(grid)
+        scored = select_training_target(grid, config.poise_params.scoring_weights)
+        table.add_row(
+            spec.name,
+            str(peak.point),
+            peak.speedup,
+            str(scored.point),
+            scored.speedup,
+            _neighbourhood_mean(grid, peak.point),
+            _neighbourhood_mean(grid, scored.point),
+        )
+        experiment.scalars[f"{spec.name}_peak_speedup"] = peak.speedup
+        experiment.scalars[f"{spec.name}_scored_speedup"] = scored.speedup
+    experiment.add_note(
+        "Paper: ii kernel#34 peak (6,5) 1.08x vs scored (8,8) 1.06x; kernel#35 peak "
+        "(11,4) 1.15x vs scored (7,6) 1.14x — the scored target trades a little speedup "
+        "for distance from cliffs."
+    )
+    return experiment
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Fig. 12 — sensitivity to the L1 cache size (16/32/64 KB, linear indexing).
+
+The paper's robustness study: the regression model is trained once on the
+16 KB hash-indexed baseline, then deployed unchanged on evaluation platforms
+with a *linear* set-index function and L1 capacities of 16, 32 and 64 KB.
+Poise keeps delivering speedups (48%, then 36.7% at 64 KB), showing both
+that the learned mapping transfers across architectural changes and that
+cache thrashing persists even with much larger caches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.tables import ExperimentResult, Table
+from repro.experiments.common import (
+    ExperimentConfig,
+    evaluation_benchmark_names,
+    run_scheme_on_benchmark,
+    train_or_load_model,
+)
+from repro.profiling.metrics import harmonic_mean
+
+DEFAULT_SCALES = (1, 2, 4)  # 16 KB, 32 KB, 64 KB
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    scales: Optional[List[int]] = None,
+) -> ExperimentResult:
+    config = config or ExperimentConfig.full()
+    scales = list(scales or DEFAULT_SCALES)
+    # The model is trained on the baseline (hash-indexed 16 KB) platform.
+    model = train_or_load_model(config)
+    benchmarks = evaluation_benchmark_names()
+
+    experiment = ExperimentResult(
+        experiment_id="fig12",
+        description="Sensitivity to L1 cache size (linear indexing, pre-trained model)",
+    )
+    size_labels = [f"Poise+{16 * scale}KB" for scale in scales]
+    table = experiment.add_table(
+        Table(
+            title="Fig. 12 — IPC normalised to the same-size GTO baseline",
+            columns=["benchmark"] + size_labels,
+        )
+    )
+    per_scale: dict = {scale: [] for scale in scales}
+    for name in benchmarks:
+        row = [name]
+        for scale in scales:
+            gpu = config.gpu.with_l1(
+                size_bytes=config.gpu.l1.size_bytes * scale, indexing="linear"
+            )
+            scaled_config = config.with_gpu(gpu)
+            outcome = run_scheme_on_benchmark("poise", name, scaled_config, model=model)
+            row.append(outcome.speedup)
+            per_scale[scale].append(max(outcome.speedup, 1e-6))
+        table.add_row(*row)
+    hmean_row = ["H-Mean"] + [harmonic_mean(per_scale[scale]) for scale in scales]
+    table.add_row(*hmean_row)
+    for scale, value in zip(scales, hmean_row[1:]):
+        experiment.scalars[f"hmean_{16 * scale}KB"] = value
+    experiment.add_note(
+        "Paper harmonic means: 1.48 at 16 KB, declining to 1.367 at 64 KB — Poise keeps "
+        "helping on larger linearly-indexed caches despite being trained elsewhere."
+    )
+    return experiment
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,153 @@
+"""Set-associative cache with LRU replacement, hash/linear indexing and
+per-request allocate/bypass control.
+
+The cache tracks, per line, the warp that last touched it so that hits can be
+classified as *intra-warp* (same warp as the previous toucher) or
+*inter-warp*.  These two categories are the basis of the η features in the
+paper's feature vector (Table I-b / Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.gpu.config import CacheConfig
+
+
+@dataclass
+class CacheLine:
+    valid: bool = False
+    tag: int = -1
+    last_warp: int = -1
+    lru_stamp: int = 0
+
+
+@dataclass(frozen=True)
+class CacheAccessResult:
+    """Outcome of a cache access."""
+
+    hit: bool
+    intra_warp: bool
+    allocated: bool
+    evicted_line_addr: Optional[int] = None
+
+
+class SetAssociativeCache:
+    """A straightforward set-associative cache model.
+
+    Fill latency is not modelled inside the cache: a line is reserved at the
+    time of the missing access (as the paper's L1 controller does when it
+    reserves a line for an allocating miss); timing is charged by the memory
+    subsystem.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        self.assoc = config.assoc
+        self._sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(self.assoc)] for _ in range(self.num_sets)
+        ]
+        self._access_counter = 0
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+        self.evictions = 0
+
+    # -- indexing -----------------------------------------------------------------
+
+    def set_index(self, line_addr: int) -> int:
+        """Map a line address to a set index.
+
+        ``linear`` indexing uses the low-order bits; ``hash`` indexing XOR-folds
+        higher address bits into the index, emulating the hashed set-index
+        function of the paper's baseline L1.
+        """
+        if self.config.indexing == "linear":
+            return line_addr % self.num_sets
+        folded = line_addr
+        index = 0
+        while folded:
+            index ^= folded % self.num_sets
+            folded //= self.num_sets
+        return index % self.num_sets
+
+    def _tag(self, line_addr: int) -> int:
+        return line_addr
+
+    # -- access -------------------------------------------------------------------
+
+    def probe(self, line_addr: int) -> bool:
+        """Check for presence without changing any state."""
+        target = self._tag(line_addr)
+        for line in self._sets[self.set_index(line_addr)]:
+            if line.valid and line.tag == target:
+                return True
+        return False
+
+    def access(self, line_addr: int, warp_id: int, allocate: bool = True) -> CacheAccessResult:
+        """Perform a load access.
+
+        Args:
+            line_addr: cache-line address.
+            warp_id: the accessing warp (for intra/inter-warp classification).
+            allocate: whether a miss may reserve a line (pollute privilege).
+        """
+        self._access_counter += 1
+        target = self._tag(line_addr)
+        cache_set = self._sets[self.set_index(line_addr)]
+
+        for line in cache_set:
+            if line.valid and line.tag == target:
+                self.hits += 1
+                intra = line.last_warp == warp_id
+                line.last_warp = warp_id
+                line.lru_stamp = self._access_counter
+                return CacheAccessResult(hit=True, intra_warp=intra, allocated=False)
+
+        self.misses += 1
+        if not allocate:
+            self.bypasses += 1
+            return CacheAccessResult(hit=False, intra_warp=False, allocated=False)
+
+        victim = min(cache_set, key=lambda line: (line.valid, line.lru_stamp))
+        evicted_addr = victim.tag if victim.valid else None
+        if victim.valid:
+            self.evictions += 1
+        victim.valid = True
+        victim.tag = target
+        victim.last_warp = warp_id
+        victim.lru_stamp = self._access_counter
+        return CacheAccessResult(
+            hit=False, intra_warp=False, allocated=True, evicted_line_addr=evicted_addr
+        )
+
+    # -- management ---------------------------------------------------------------
+
+    def flush(self) -> None:
+        for cache_set in self._sets:
+            for line in cache_set:
+                line.valid = False
+                line.tag = -1
+                line.last_warp = -1
+                line.lru_stamp = 0
+        self._access_counter = 0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+        self.evictions = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def resident_lines(self) -> int:
+        return sum(1 for cache_set in self._sets for line in cache_set if line.valid)

@@ -1,0 +1,103 @@
+"""Top-level kernel execution helpers.
+
+``GPU.run_kernel`` builds an SM for a kernel's warp programs, optionally pins
+a static warp-tuple, or hands control to a *controller* (a scheduling policy
+such as Poise, PCAL or CCWS) that adjusts the warp-tuple while the kernel
+runs.  The result bundles the performance counters, derived metrics and an
+energy estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.gpu.config import GPUConfig, baseline_config
+from repro.gpu.counters import PerfCounters
+from repro.gpu.energy import EnergyModel, EnergyReport
+from repro.gpu.isa import Instruction
+from repro.gpu.sm import CacheManagementPolicy, StreamingMultiprocessor
+
+
+@dataclass
+class RunResult:
+    """Outcome of one kernel execution on one SM."""
+
+    counters: PerfCounters
+    cycles: int
+    energy: EnergyReport
+    warp_tuple: Tuple[int, int]
+    completed: bool
+    telemetry: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.counters.ipc
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.counters.l1_hit_rate
+
+    @property
+    def aml(self) -> float:
+        return self.counters.aml
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """IPC speedup of this run relative to ``baseline``."""
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+
+class GPU:
+    """Facade that runs kernels on the simulated SM."""
+
+    def __init__(self, config: Optional[GPUConfig] = None) -> None:
+        self.config = config or baseline_config()
+        self.energy_model = EnergyModel(self.config.energy)
+
+    def build_sm(
+        self,
+        programs: Sequence[Sequence[Instruction]],
+        cache_policy: Optional[CacheManagementPolicy] = None,
+    ) -> StreamingMultiprocessor:
+        return StreamingMultiprocessor(self.config, programs, cache_policy=cache_policy)
+
+    def run_kernel(
+        self,
+        programs: Sequence[Sequence[Instruction]],
+        warp_tuple: Optional[Tuple[int, int]] = None,
+        controller=None,
+        max_cycles: Optional[int] = None,
+        cache_policy: Optional[CacheManagementPolicy] = None,
+    ) -> RunResult:
+        """Execute a kernel.
+
+        Args:
+            programs: one instruction sequence per warp.
+            warp_tuple: a static ``(N, p)`` to pin for the whole run; defaults
+                to maximum warps (the GTO baseline).
+            controller: an object with ``execute(sm, max_cycles) -> dict``
+                that drives the run dynamically (overrides ``warp_tuple``).
+            max_cycles: cycle budget (defaults to the config's budget).
+            cache_policy: optional instruction-based cache management hook.
+        """
+        sm = self.build_sm(programs, cache_policy=cache_policy)
+        budget = max_cycles if max_cycles is not None else self.config.max_cycles
+        telemetry: dict = {}
+        if controller is not None:
+            telemetry = controller.execute(sm, budget) or {}
+        else:
+            if warp_tuple is None:
+                warp_tuple = (self.config.max_warps, self.config.max_warps)
+            sm.set_warp_tuple(*warp_tuple)
+            sm.run_to_completion(budget)
+        counters = sm.counters
+        return RunResult(
+            counters=counters,
+            cycles=counters.cycles,
+            energy=self.energy_model.estimate(counters),
+            warp_tuple=sm.warp_tuple,
+            completed=sm.done,
+            telemetry=telemetry,
+        )

@@ -1,0 +1,65 @@
+"""A two-operation ISA sufficient to express the paper's execution model.
+
+Kernels are represented as per-warp instruction streams.  Only two behaviours
+matter for the TLP / memory-system trade-off Poise studies:
+
+* ``ALU`` — an instruction that keeps the SM's functional units busy for one
+  issue slot and never stalls the warp.
+* ``LOAD`` — a global memory load of one (fully coalesced) cache line.  Each
+  load carries ``dep_distance``: the number of subsequent instructions in the
+  same warp that are independent of the load.  The instruction at
+  ``issue_index + dep_distance + 1`` uses the loaded value, so the warp stalls
+  there until the load returns (the ``Id`` quantity of the analytical model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+
+class Opcode(Enum):
+    ALU = "alu"
+    LOAD = "load"
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One warp-wide instruction.
+
+    Attributes:
+        opcode: the operation class.
+        line_addr: cache-line address touched by a LOAD (``None`` for ALU).
+        dep_distance: for LOADs, the number of following independent
+            instructions before the first use of the loaded value.
+        pc: a static program-counter tag used by instruction-based cache
+            management policies (e.g. the APCM baseline).
+    """
+
+    opcode: Opcode
+    line_addr: Optional[int] = None
+    dep_distance: int = 0
+    pc: int = 0
+
+    def __post_init__(self) -> None:
+        if self.opcode is Opcode.LOAD and self.line_addr is None:
+            raise ValueError("LOAD instructions require a line address")
+        if self.opcode is Opcode.ALU and self.line_addr is not None:
+            raise ValueError("ALU instructions must not carry an address")
+        if self.dep_distance < 0:
+            raise ValueError("dep_distance must be non-negative")
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode is Opcode.LOAD
+
+
+def alu(pc: int = 0) -> Instruction:
+    """Convenience constructor for an ALU instruction."""
+    return Instruction(Opcode.ALU, pc=pc)
+
+
+def load(line_addr: int, dep_distance: int = 0, pc: int = 0) -> Instruction:
+    """Convenience constructor for a LOAD instruction."""
+    return Instruction(Opcode.LOAD, line_addr=line_addr, dep_distance=dep_distance, pc=pc)

@@ -1,0 +1,97 @@
+"""The shared memory system (L2 slice + DRAM) seen by one SM.
+
+Requests that miss (or bypass) the L1 are sent here.  Each level is modelled
+as a cache/array fronted by a single busy server; a request's latency is the
+base access latency of the level plus the queueing delay accumulated behind
+earlier requests.  The per-request service interval is multiplied by a
+congestion factor representing the symmetric traffic of the chip's other SMs,
+so average memory latency (AML) grows with the SM's own miss rate — the
+``L'`` effect of Eq. 4 in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gpu.cache import SetAssociativeCache
+from repro.gpu.config import MemoryConfig
+
+
+@dataclass(frozen=True)
+class MemoryResponse:
+    """Timing outcome of a request sent past the L1."""
+
+    completion_cycle: int
+    served_by: str  # "l2" or "dram"
+    latency: int
+
+
+class MemorySubsystem:
+    """L2 slice + DRAM with busy-server queueing."""
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.config = config
+        self.l2 = SetAssociativeCache(config.l2, name="l2")
+        self._l2_busy_until = 0.0
+        self._dram_busy_until = 0.0
+        self.l2_accesses = 0
+        self.l2_hits = 0
+        self.dram_accesses = 0
+        self.total_latency = 0
+        self.requests = 0
+
+    def reset_stats(self) -> None:
+        self.l2_accesses = 0
+        self.l2_hits = 0
+        self.dram_accesses = 0
+        self.total_latency = 0
+        self.requests = 0
+        self.l2.reset_stats()
+
+    def flush(self) -> None:
+        self.l2.flush()
+        self._l2_busy_until = 0.0
+        self._dram_busy_until = 0.0
+
+    # -- request path -------------------------------------------------------------
+
+    def request(self, line_addr: int, cycle: int, warp_id: int) -> MemoryResponse:
+        """Issue a request for ``line_addr`` at ``cycle`` and return its timing."""
+        cfg = self.config
+        self.requests += 1
+        self.l2_accesses += 1
+
+        l2_service = cfg.l2_service_interval * cfg.congestion_factor
+        l2_start = max(float(cycle), self._l2_busy_until)
+        queue_delay = min(l2_start - cycle, cfg.max_queue_delay)
+        self._l2_busy_until = l2_start + l2_service
+
+        l2_result = self.l2.access(line_addr, warp_id, allocate=True)
+        if l2_result.hit:
+            self.l2_hits += 1
+            latency = int(cfg.l2_latency + queue_delay)
+            completion = cycle + latency
+            self.total_latency += latency
+            return MemoryResponse(completion, "l2", latency)
+
+        dram_service = cfg.dram_service_interval * cfg.congestion_factor
+        dram_start = max(l2_start + cfg.l2_latency, self._dram_busy_until)
+        dram_queue_delay = min(dram_start - (cycle + cfg.l2_latency), cfg.max_queue_delay)
+        self._dram_busy_until = dram_start + dram_service
+
+        self.dram_accesses += 1
+        latency = int(cfg.l2_latency + queue_delay + cfg.dram_latency + dram_queue_delay)
+        completion = cycle + latency
+        self.total_latency += latency
+        return MemoryResponse(completion, "dram", latency)
+
+    # -- derived statistics -------------------------------------------------------
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return self.l2_hits / self.l2_accesses if self.l2_accesses else 0.0
+
+    @property
+    def average_latency(self) -> float:
+        return self.total_latency / self.requests if self.requests else 0.0

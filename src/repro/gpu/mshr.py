@@ -1,0 +1,72 @@
+"""Miss Status Holding Registers (MSHRs) with request merging.
+
+The MSHR file bounds the memory-level parallelism an SM can expose — the
+``Kmshr`` term of the paper's analytical model (Eq. 1).  Misses to a line
+that already has an outstanding request merge into the existing entry;
+when no entry is free the missing load cannot issue and the warp retries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class MSHREntry:
+    line_addr: int
+    waiters: List[Tuple[int, int]] = field(default_factory=list)  # (warp_id, token)
+
+
+class MSHRFile:
+    """A fixed-capacity MSHR file keyed by cache-line address."""
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries < 1:
+            raise ValueError("MSHR file needs at least one entry")
+        self.num_entries = num_entries
+        self._entries: Dict[int, MSHREntry] = {}
+        self.merges = 0
+        self.allocations = 0
+        self.stalls = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.num_entries
+
+    def lookup(self, line_addr: int) -> Optional[MSHREntry]:
+        return self._entries.get(line_addr)
+
+    def allocate(self, line_addr: int, warp_id: int, token: int) -> str:
+        """Try to register a miss.
+
+        Returns one of:
+            ``"merged"`` — an entry for the line already existed,
+            ``"allocated"`` — a new entry was created,
+            ``"full"`` — no entry was available (the access must be retried).
+        """
+        entry = self._entries.get(line_addr)
+        if entry is not None:
+            entry.waiters.append((warp_id, token))
+            self.merges += 1
+            return "merged"
+        if self.full:
+            self.stalls += 1
+            return "full"
+        self._entries[line_addr] = MSHREntry(line_addr, [(warp_id, token)])
+        self.allocations += 1
+        return "allocated"
+
+    def release(self, line_addr: int) -> List[Tuple[int, int]]:
+        """Free the entry for ``line_addr`` and return its waiters."""
+        entry = self._entries.pop(line_addr, None)
+        if entry is None:
+            return []
+        return entry.waiters
+
+    def clear(self) -> None:
+        self._entries.clear()

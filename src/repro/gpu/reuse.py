@@ -1,0 +1,54 @@
+"""Per-warp reuse-distance tracking.
+
+The paper characterises workloads by their reuse distance ``R`` (Fig. 4,
+Table I-b): the number of distinct cache lines touched by a warp between two
+accesses to the same line.  The tracker keeps a bounded per-warp LRU stack of
+line addresses and records the stack distance of every re-reference.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+
+class ReuseDistanceTracker:
+    """Approximate per-warp LRU stack-distance profiler."""
+
+    def __init__(self, max_stack: int = 8192) -> None:
+        self.max_stack = max_stack
+        self._stacks: Dict[int, OrderedDict] = {}
+        self.total_distance = 0
+        self.reuse_count = 0
+        self.cold_count = 0
+
+    def record(self, warp_id: int, line_addr: int) -> int:
+        """Record an access; returns the reuse distance (-1 for a cold miss)."""
+        stack = self._stacks.setdefault(warp_id, OrderedDict())
+        if line_addr in stack:
+            distance = 0
+            for addr in reversed(stack):
+                if addr == line_addr:
+                    break
+                distance += 1
+            stack.move_to_end(line_addr)
+            self.total_distance += distance
+            self.reuse_count += 1
+            return distance
+        stack[line_addr] = True
+        if len(stack) > self.max_stack:
+            stack.popitem(last=False)
+        self.cold_count += 1
+        return -1
+
+    @property
+    def average_distance(self) -> float:
+        if not self.reuse_count:
+            return 0.0
+        return self.total_distance / self.reuse_count
+
+    def reset(self) -> None:
+        self._stacks.clear()
+        self.total_distance = 0
+        self.reuse_count = 0
+        self.cold_count = 0

@@ -1,0 +1,98 @@
+"""Greedy-then-oldest (GTO) warp scheduler with warp-tuple control.
+
+The baseline GTO scheduler keeps issuing from the most recently issued warp
+until it stalls, then falls back to the oldest ready warp.  Poise's modified
+scheduler (Section VI-C) adds two bits per warp-queue entry:
+
+* the *vital* bit — set for the ``N`` oldest active warps; only vital warps
+  are considered for issue;
+* the *pollute* bit — set for the ``p`` oldest active warps; the bit travels
+  with every load request and decides whether an L1 miss may reserve a line.
+
+Both bits are recomputed whenever the warp-tuple changes or a warp exits, so
+``N`` and ``p`` always refer to the oldest *active* warps, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.gpu.warp import Warp
+
+
+class GTOScheduler:
+    """GTO arbitration over the vital subset of warps."""
+
+    def __init__(self, warps: Sequence[Warp], max_warps: int) -> None:
+        self.warps = list(warps)
+        self.max_warps = max_warps
+        self._n = max_warps
+        self._p = max_warps
+        self._vital_ids: set = set()
+        self._pollute_ids: set = set()
+        self._last_issued: Optional[Warp] = None
+        self._refresh_bits()
+
+    # -- warp-tuple control -------------------------------------------------------
+
+    @property
+    def warp_tuple(self) -> Tuple[int, int]:
+        return self._n, self._p
+
+    def set_warp_tuple(self, n: int, p: int) -> None:
+        """Set the number of vital warps (``n``) and polluting warps (``p``)."""
+        n = max(1, min(int(n), self.max_warps))
+        p = max(1, min(int(p), n))
+        self._n, self._p = n, p
+        self._refresh_bits()
+
+    def _active_warps_oldest_first(self) -> List[Warp]:
+        return [warp for warp in self.warps if not warp.done]
+
+    def _refresh_bits(self) -> None:
+        active = self._active_warps_oldest_first()
+        self._vital_ids = {warp.wid for warp in active[: self._n]}
+        self._pollute_ids = {warp.wid for warp in active[: self._p]}
+
+    def on_warp_exit(self) -> None:
+        """Called by the SM when a warp retires, so younger warps inherit
+        vital/pollute privileges."""
+        self._refresh_bits()
+
+    def is_vital(self, warp: Warp) -> bool:
+        return warp.wid in self._vital_ids
+
+    def is_polluting(self, warp: Warp) -> bool:
+        return warp.wid in self._pollute_ids
+
+    def vital_warps(self) -> List[Warp]:
+        return [warp for warp in self.warps if warp.wid in self._vital_ids and not warp.done]
+
+    # -- arbitration --------------------------------------------------------------
+
+    def pick(self) -> Optional[Warp]:
+        """Select the warp to issue from this cycle (or ``None`` if all vital
+        warps are stalled)."""
+        last = self._last_issued
+        if (
+            last is not None
+            and not last.done
+            and last.wid in self._vital_ids
+            and last.is_schedulable()
+        ):
+            return last
+        for warp in self.warps:  # oldest first (warp ids are age-ordered)
+            if warp.wid in self._vital_ids and warp.is_schedulable():
+                self._last_issued = warp
+                return warp
+        return None
+
+    def note_issue(self, warp: Warp) -> None:
+        self._last_issued = warp
+
+    def any_warp_active(self) -> bool:
+        return any(not warp.done for warp in self.warps)
+
+    def reset(self) -> None:
+        self._last_issued = None
+        self._refresh_bits()

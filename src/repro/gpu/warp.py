@@ -1,0 +1,105 @@
+"""Warp execution state.
+
+A warp walks through its instruction stream one instruction per issue slot.
+The only hazard modelled is the load/use dependency: every outstanding load
+remembers its issue index and dependency distance, and the warp becomes
+non-schedulable once its program counter would pass the first dependent
+instruction of any outstanding load.  This is exactly the latency-tolerance
+structure used by the paper's analytical model (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.gpu.isa import Instruction
+
+
+@dataclass
+class OutstandingLoad:
+    """Book-keeping for a load whose data has not yet returned."""
+
+    token: int
+    issue_index: int
+    dep_distance: int
+    issue_cycle: int
+
+    @property
+    def first_dependent_index(self) -> int:
+        return self.issue_index + self.dep_distance + 1
+
+
+@dataclass
+class Warp:
+    """Execution state of a single warp."""
+
+    wid: int
+    program: Sequence[Instruction]
+    pc: int = 0
+    outstanding: Dict[int, OutstandingLoad] = field(default_factory=dict)
+    issued_instructions: int = 0
+    exited: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.program:
+            self.exited = True
+
+    @property
+    def done(self) -> bool:
+        """A warp retires once it has issued every instruction and all its
+        loads have returned."""
+        return self.exited or (self.pc >= len(self.program) and not self.outstanding)
+
+    @property
+    def finished_issuing(self) -> bool:
+        return self.pc >= len(self.program)
+
+    def current_instruction(self) -> Optional[Instruction]:
+        if self.finished_issuing:
+            return None
+        return self.program[self.pc]
+
+    def blocking_load(self) -> Optional[OutstandingLoad]:
+        """Return the outstanding load (if any) whose dependent instruction
+        is the one the warp is about to issue."""
+        for pending in self.outstanding.values():
+            if self.pc >= pending.first_dependent_index:
+                return pending
+        return None
+
+    def is_schedulable(self) -> bool:
+        """True when the warp can issue its next instruction this cycle."""
+        if self.done or self.finished_issuing:
+            return False
+        return self.blocking_load() is None
+
+    def record_load_issue(self, token: int, dep_distance: int, cycle: int) -> None:
+        self.outstanding[token] = OutstandingLoad(
+            token=token,
+            issue_index=self.pc,
+            dep_distance=dep_distance,
+            issue_cycle=cycle,
+        )
+
+    def advance(self) -> None:
+        self.pc += 1
+        self.issued_instructions += 1
+
+    def complete_load(self, token: int) -> OutstandingLoad:
+        try:
+            return self.outstanding.pop(token)
+        except KeyError:
+            raise KeyError(f"warp {self.wid} has no outstanding load with token {token}")
+
+    def reset(self) -> None:
+        """Rewind the warp to its initial state (used by profiling sweeps)."""
+        self.pc = 0
+        self.outstanding.clear()
+        self.issued_instructions = 0
+        self.exited = not self.program
+
+
+def make_warps(programs: Sequence[Sequence[Instruction]]) -> List[Warp]:
+    """Build warps with ids matching their age order (0 is the oldest)."""
+    return [Warp(wid=index, program=program) for index, program in enumerate(programs)]

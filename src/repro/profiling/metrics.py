@@ -1,0 +1,49 @@
+"""Aggregate metrics used throughout the evaluation."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean (the paper's headline aggregation for speedups)."""
+    values = [float(v) for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires strictly positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = [float(v) for v in values]
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = [float(v) for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def harmonic_mean_speedup(speedups: Iterable[float]) -> float:
+    """Harmonic-mean speedup expressed as the paper reports it (e.g. 1.466)."""
+    return harmonic_mean(speedups)
+
+
+def normalize(values: Sequence[float], baseline: float) -> list:
+    """Normalise a sequence of values to a baseline value."""
+    if baseline == 0:
+        raise ValueError("cannot normalise to a zero baseline")
+    return [v / baseline for v in values]
+
+
+def euclidean_displacement(a: Tuple[int, int], b: Tuple[int, int]) -> float:
+    """Euclidean distance between two warp-tuples (Fig. 10)."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])

@@ -1,0 +1,44 @@
+"""Warp-scheduling baselines evaluated against Poise.
+
+Every policy implements the controller protocol of
+:meth:`repro.gpu.gpu.GPU.run_kernel` — an ``execute(sm, max_cycles)`` method
+that owns the kernel run and adjusts the warp-tuple over time:
+
+* :class:`GTOController` — the baseline greedy-then-oldest scheduler with
+  maximum warps (and everything allowed to pollute).
+* :class:`SWLController` — Static Warp Limiting: a fixed ``N = p`` derived
+  from offline profiling on the diagonal of the warp-tuple plane.
+* :class:`CCWSController` — a dynamic cache-conscious throttling scheme that
+  tracks lost intra-warp locality and adapts ``N = p`` at runtime.
+* :class:`PCALController` — PCAL-SWL: starts from the SWL point, searches
+  ``p`` in parallel, then hill-climbs ``N``.
+* :class:`StaticBestController` — the per-kernel statically optimal tuple
+  (the oracle of Fig. 7).
+* :class:`RandomRestartController` — random-restart stochastic search with
+  the same local search as Poise (Section VII-J).
+* :class:`APCMPolicy` — an instruction-locality-based bypass/protect cache
+  management baseline (Section VII-J), used as a cache policy rather than a
+  warp-tuple controller.
+"""
+
+from repro.schedulers.apcm import APCMPolicy
+from repro.schedulers.base import FixedTupleController, WarpTupleController
+from repro.schedulers.ccws import CCWSController
+from repro.schedulers.gto import GTOController
+from repro.schedulers.pcal import PCALController
+from repro.schedulers.random_restart import RandomRestartController
+from repro.schedulers.static_best import StaticBestController
+from repro.schedulers.swl import SWLController, derive_swl_limit
+
+__all__ = [
+    "APCMPolicy",
+    "CCWSController",
+    "FixedTupleController",
+    "GTOController",
+    "PCALController",
+    "RandomRestartController",
+    "StaticBestController",
+    "SWLController",
+    "WarpTupleController",
+    "derive_swl_limit",
+]

@@ -1,0 +1,41 @@
+"""Controller protocol shared by all warp-scheduling policies."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Tuple
+
+
+class WarpTupleController(ABC):
+    """A policy that owns a kernel run and steers the warp-tuple.
+
+    ``execute`` receives a freshly built SM and a cycle budget; it must run
+    the SM (typically via ``sm.run_cycles`` / ``sm.run_to_completion``) and
+    may return a telemetry dictionary that ends up in
+    :attr:`repro.gpu.gpu.RunResult.telemetry`.
+    """
+
+    @abstractmethod
+    def execute(self, sm, max_cycles: int) -> Dict:
+        """Run the kernel under this policy."""
+
+    @staticmethod
+    def clamp_tuple(n: int, p: int, max_warps: int) -> Tuple[int, int]:
+        n = max(1, min(int(n), max_warps))
+        p = max(1, min(int(p), n))
+        return n, p
+
+
+class FixedTupleController(WarpTupleController):
+    """Pin a single warp-tuple for the whole run."""
+
+    def __init__(self, n: int, p: int) -> None:
+        self.n = n
+        self.p = p
+
+    def execute(self, sm, max_cycles: int) -> Dict:
+        max_warps = min(sm.config.max_warps, len(sm.warps))
+        n, p = self.clamp_tuple(self.n, self.p, max_warps)
+        sm.set_warp_tuple(n, p)
+        sm.run_to_completion(max_cycles)
+        return {"warp_tuple": (n, p)}

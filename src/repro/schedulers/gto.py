@@ -1,0 +1,18 @@
+"""The baseline greedy-then-oldest (GTO) scheduler at maximum warps."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.schedulers.base import WarpTupleController
+
+
+class GTOController(WarpTupleController):
+    """Run with every available warp vital and polluting (the paper's GTO
+    baseline, against which all speedups are normalised)."""
+
+    def execute(self, sm, max_cycles: int) -> Dict:
+        max_warps = min(sm.config.max_warps, len(sm.warps))
+        sm.set_warp_tuple(max_warps, max_warps)
+        sm.run_to_completion(max_cycles)
+        return {"warp_tuple": (max_warps, max_warps)}

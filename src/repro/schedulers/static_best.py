@@ -1,0 +1,35 @@
+"""The Static-Best oracle: run each kernel at its statically optimal tuple.
+
+This is the paper's upper-bound comparison (Fig. 7): the warp-tuple with the
+highest throughput in the kernel's offline profile, with no runtime search
+or sampling overhead of any kind.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.profiling.profiler import StaticProfile
+from repro.schedulers.base import WarpTupleController
+
+
+class StaticBestController(WarpTupleController):
+    """Pin the profile's best warp-tuple for the whole kernel."""
+
+    def __init__(
+        self,
+        best_tuple: Optional[Tuple[int, int]] = None,
+        profile: Optional[StaticProfile] = None,
+    ) -> None:
+        if best_tuple is None and profile is None:
+            raise ValueError("Static-Best needs a tuple or a static profile")
+        if best_tuple is None:
+            best_tuple = profile.best_point()
+        self.best_tuple = (int(best_tuple[0]), int(best_tuple[1]))
+
+    def execute(self, sm, max_cycles: int) -> Dict:
+        max_warps = min(sm.config.max_warps, len(sm.warps))
+        n, p = self.clamp_tuple(*self.best_tuple, max_warps=max_warps)
+        sm.set_warp_tuple(n, p)
+        sm.run_to_completion(max_cycles)
+        return {"warp_tuple": (n, p)}

@@ -1,0 +1,41 @@
+"""Static Warp Limiting (SWL) — the static flavour of CCWS.
+
+SWL throttles the number of schedulable warps to a per-kernel constant
+determined by offline profiling.  Because CCWS couples cache allocation to
+scheduling, the limit applies to both knobs: ``N = p = limit`` — SWL can only
+reach the diagonal of the warp-tuple plane (Fig. 2a).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.profiling.profiler import StaticProfile
+from repro.schedulers.base import WarpTupleController
+
+
+def derive_swl_limit(profile: StaticProfile) -> int:
+    """The profile-derived SWL warp limit: the best point on the diagonal."""
+    n, _ = profile.best_diagonal_point()
+    return n
+
+
+class SWLController(WarpTupleController):
+    """Run the whole kernel at the profile-derived ``N = p`` limit."""
+
+    def __init__(self, limit: Optional[int] = None, profile: Optional[StaticProfile] = None) -> None:
+        if limit is None and profile is None:
+            raise ValueError("SWL needs either an explicit limit or a static profile")
+        if limit is None:
+            limit = derive_swl_limit(profile)
+        self.limit = int(limit)
+
+    def warp_tuple(self, max_warps: int) -> Tuple[int, int]:
+        return self.clamp_tuple(self.limit, self.limit, max_warps)
+
+    def execute(self, sm, max_cycles: int) -> Dict:
+        max_warps = min(sm.config.max_warps, len(sm.warps))
+        n, p = self.warp_tuple(max_warps)
+        sm.set_warp_tuple(n, p)
+        sm.run_to_completion(max_cycles)
+        return {"warp_tuple": (n, p), "swl_limit": self.limit}

@@ -1,0 +1,42 @@
+"""Synthetic workloads standing in for the paper's CUDA benchmark suites.
+
+The paper evaluates Poise on memory-sensitive kernels from Rodinia,
+Polybench, Mars/MapReduce and a graph-processing suite.  Those CUDA binaries
+and their GPGPU-Sim traces are not available here, so each benchmark is
+modelled as a *synthetic kernel generator* parameterised by the same
+characteristics the paper measures and learns from:
+
+* intra-warp locality (fraction of loads that re-touch the warp's own
+  working set) and the size of that working set (reuse distance ``R``),
+* inter-warp locality (fraction of loads to a region shared across warps),
+* streaming accesses (no reuse),
+* average instructions between global loads (``In``) and the dependency
+  distance between a load and its first use (``Id``),
+* warp count and kernel length.
+
+The parameters of each benchmark are tuned so the observable counters match
+the qualitative characterisation in Fig. 4 and Table IIIa (e.g. ``ii`` is
+dominated by intra-warp hits with a small footprint, ``cfd`` by inter-warp
+hits with a very large footprint).
+"""
+
+from repro.workloads.spec import BenchmarkSpec, KernelSpec
+from repro.workloads.generator import generate_kernel_programs
+from repro.workloads.registry import (
+    all_benchmarks,
+    compute_intensive_benchmarks,
+    evaluation_benchmarks,
+    get_benchmark,
+    training_benchmarks,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "KernelSpec",
+    "all_benchmarks",
+    "compute_intensive_benchmarks",
+    "evaluation_benchmarks",
+    "generate_kernel_programs",
+    "get_benchmark",
+    "training_benchmarks",
+]

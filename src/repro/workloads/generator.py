@@ -1,0 +1,90 @@
+"""Synthesis of per-warp instruction/address traces from a KernelSpec.
+
+Each warp's program is a repeating pattern of ``In - 1`` ALU instructions
+followed by one global LOAD.  Load addresses are drawn from three regions:
+
+* the warp's *private* region (``private_lines`` cache lines) — producing
+  intra-warp reuse with an average reuse distance proportional to the
+  region size,
+* the *shared* region (``shared_lines`` lines), touched by every warp —
+  producing inter-warp reuse,
+* a *streaming* region of fresh, never-reused lines.
+
+Region bases are spaced far apart so they never alias in the tag space; the
+set-index hash of the L1 spreads them over the cache exactly as real
+benchmarks' address streams would.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+from typing import List
+
+from repro.gpu.isa import Instruction, alu, load
+from repro.workloads.spec import KernelSpec
+
+# Region spacing, in cache lines.  Large enough that private/shared/streaming
+# regions of all warps never overlap.
+_PRIVATE_REGION_STRIDE = 1 << 22
+_SHARED_REGION_BASE = 1 << 40
+_STREAM_REGION_BASE = 1 << 44
+
+# Static PC tags: every load site in the pattern gets its own PC so that
+# instruction-based policies (APCM) can distinguish load instructions.
+_PC_LOAD_BASE = 1000
+
+
+def generate_warp_program(spec: KernelSpec, warp_id: int) -> List[Instruction]:
+    """Generate the instruction stream of one warp."""
+    rng = random.Random((spec.seed << 20) ^ (warp_id * 0x9E3779B1))
+    program: List[Instruction] = []
+    private_base = (warp_id + 1) * _PRIVATE_REGION_STRIDE + spec.seed * 131
+    stream_base = _STREAM_REGION_BASE + warp_id * _PRIVATE_REGION_STRIDE + spec.seed * 977
+    stream_cursor = 0
+
+    group = max(1, spec.instructions_per_load)
+    dep = min(spec.dep_distance, group - 1) if group > 1 else 0
+    pc_cursor = 0
+    load_sites = max(1, min(8, spec.private_lines // 64 + 1))
+
+    while len(program) < spec.instructions_per_warp:
+        for _ in range(group - 1):
+            if len(program) >= spec.instructions_per_warp:
+                return program
+            program.append(alu(pc=pc_cursor))
+            pc_cursor += 1
+        if len(program) >= spec.instructions_per_warp:
+            return program
+        draw = rng.random()
+        if draw < spec.intra_warp_fraction:
+            line = private_base + rng.randrange(spec.private_lines)
+            pc_tag = _PC_LOAD_BASE + (pc_cursor % load_sites)
+        elif draw < spec.intra_warp_fraction + spec.inter_warp_fraction:
+            line = _SHARED_REGION_BASE + spec.seed * 7919 + rng.randrange(spec.shared_lines)
+            pc_tag = _PC_LOAD_BASE + 100 + (pc_cursor % load_sites)
+        else:
+            line = stream_base + stream_cursor
+            stream_cursor += 1
+            pc_tag = _PC_LOAD_BASE + 200  # a single streaming load site
+        program.append(load(line, dep_distance=dep, pc=pc_tag))
+        pc_cursor += 1
+    return program
+
+
+@lru_cache(maxsize=6)
+def _generate_kernel_programs_cached(spec: KernelSpec) -> tuple:
+    return tuple(
+        tuple(generate_warp_program(spec, warp_id)) for warp_id in range(spec.num_warps)
+    )
+
+
+def generate_kernel_programs(spec: KernelSpec) -> List[List[Instruction]]:
+    """Generate programs for every warp of the kernel.
+
+    Kernel specs are immutable, so generation is memoised (bounded LRU): the
+    profiler and the scheme runners repeatedly execute the same kernel and
+    regenerating hundreds of thousands of instructions would dominate their
+    runtime.
+    """
+    return [list(program) for program in _generate_kernel_programs_cached(spec)]

@@ -1,0 +1,137 @@
+"""Unit tests for the analytical model (Equations 1-11)."""
+
+import math
+
+import pytest
+
+from repro.core.analytical import AnalyticalModel, WarpTupleScenario
+
+
+def make_scenario(**overrides):
+    defaults = dict(
+        n_warps=16,
+        p_warps=2,
+        miss_rate_baseline=0.9,
+        latency_baseline=400.0,
+        hit_rate_polluting=0.7,
+        hit_rate_nonpolluting=0.1,
+        latency_tuple=300.0,
+        independent_instructions=3.0,
+        pipeline_cycles=4.0,
+        mshr_entries=32,
+    )
+    defaults.update(overrides)
+    return WarpTupleScenario(**defaults)
+
+
+class TestScenarioValidation:
+    def test_p_must_not_exceed_n(self):
+        with pytest.raises(ValueError):
+            make_scenario(n_warps=4, p_warps=5)
+
+    def test_rates_must_be_fractions(self):
+        with pytest.raises(ValueError):
+            make_scenario(miss_rate_baseline=1.5)
+        with pytest.raises(ValueError):
+            make_scenario(hit_rate_polluting=-0.1)
+
+    def test_mshr_entries_positive(self):
+        with pytest.raises(ValueError):
+            make_scenario(mshr_entries=0)
+
+    def test_derived_rates(self):
+        scenario = make_scenario(miss_rate_baseline=0.8, hit_rate_polluting=0.7)
+        assert scenario.hit_rate_baseline == pytest.approx(0.2)
+        assert scenario.miss_rate_polluting == pytest.approx(0.3)
+
+
+class TestBaselineEquations:
+    def test_eq1_effective_latency_grows_in_lo_multiples(self):
+        scenario = make_scenario(n_warps=24, miss_rate_baseline=1.0, mshr_entries=8)
+        model = AnalyticalModel(scenario)
+        # ceil(24 / 8) = 3 multiples of Lo.
+        assert model.t_mem_baseline() == pytest.approx(3 * scenario.latency_baseline)
+
+    def test_eq2_busy_cycles_scale_with_hits(self):
+        low = AnalyticalModel(make_scenario(miss_rate_baseline=0.9))
+        high = AnalyticalModel(make_scenario(miss_rate_baseline=0.5))
+        assert high.t_busy_baseline() > low.t_busy_baseline()
+
+    def test_eq3_stall_cycles_never_negative(self):
+        model = AnalyticalModel(make_scenario(miss_rate_baseline=0.0))
+        assert model.t_stall_baseline() == 0.0
+
+
+class TestTupleEquations:
+    def test_eq4_mixes_polluting_and_nonpolluting_misses(self):
+        scenario = make_scenario(
+            n_warps=8, p_warps=4, hit_rate_polluting=1.0, hit_rate_nonpolluting=0.0,
+            latency_tuple=100.0, mshr_entries=4,
+        )
+        model = AnalyticalModel(scenario)
+        # Only the 4 non-polluting warps miss: ceil(4/4) = 1 multiple of L'.
+        assert model.t_mem_tuple() == pytest.approx(100.0)
+
+    def test_eq6_stall_cycles_never_negative(self):
+        scenario = make_scenario(hit_rate_polluting=1.0, hit_rate_nonpolluting=1.0)
+        assert AnalyticalModel(scenario).t_stall_tuple() == 0.0
+
+
+class TestSpeedupCriterion:
+    def test_good_tuple_predicts_speedup_and_mu_above_one(self):
+        scenario = make_scenario(
+            miss_rate_baseline=0.97,
+            latency_baseline=600.0,
+            hit_rate_polluting=0.8,
+            hit_rate_nonpolluting=0.15,
+            latency_tuple=350.0,
+        )
+        model = AnalyticalModel(scenario)
+        assert model.predicts_speedup()
+        assert model.mu() > 1.0
+
+    def test_bad_tuple_predicts_no_speedup(self):
+        # The tuple makes the hit rates *worse* and the latency higher.
+        scenario = make_scenario(
+            miss_rate_baseline=0.2,
+            latency_baseline=200.0,
+            hit_rate_polluting=0.3,
+            hit_rate_nonpolluting=0.1,
+            latency_tuple=500.0,
+        )
+        model = AnalyticalModel(scenario)
+        assert not model.predicts_speedup()
+
+    def test_mu_consistent_with_stall_reduction(self):
+        # Whenever mu > 1 the tuple must produce fewer stalls than baseline
+        # (on scenarios where the baseline actually stalls).
+        for hp in (0.3, 0.5, 0.7, 0.9):
+            for hnp in (0.0, 0.1, 0.3):
+                scenario = make_scenario(
+                    hit_rate_polluting=hp, hit_rate_nonpolluting=hnp,
+                    miss_rate_baseline=0.95, latency_baseline=500.0, latency_tuple=400.0,
+                )
+                model = AnalyticalModel(scenario)
+                if model.mu() > 1.0 and model.t_stall_baseline() > 0:
+                    assert model.t_stall_tuple() <= model.t_stall_baseline()
+
+    def test_mu_p_over_np_increases_with_delta_hp(self):
+        # Use a scenario whose non-polluting latency penalty (the denominator
+        # of Eq. 11) is positive, so the objective is finite.
+        common = dict(hit_rate_nonpolluting=0.0, latency_tuple=500.0)
+        base = make_scenario(hit_rate_polluting=0.4, **common)
+        better = make_scenario(hit_rate_polluting=0.9, **common)
+        assert (
+            AnalyticalModel(better).mu_p_over_np() > AnalyticalModel(base).mu_p_over_np()
+        )
+
+    def test_mu_p_over_np_infinite_when_p_equals_n(self):
+        scenario = make_scenario(n_warps=4, p_warps=4)
+        assert math.isinf(AnalyticalModel(scenario).mu_p_over_np())
+
+    def test_mu_p_over_np_zero_when_no_hit_rate_gain(self):
+        scenario = make_scenario(
+            hit_rate_polluting=0.05, miss_rate_baseline=0.9, latency_tuple=500.0,
+            latency_baseline=300.0, hit_rate_nonpolluting=0.0,
+        )
+        assert AnalyticalModel(scenario).mu_p_over_np() < 1.0

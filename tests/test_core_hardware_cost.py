@@ -1,0 +1,34 @@
+"""Tests for the hardware cost accounting of Section VII-I."""
+
+import pytest
+
+from repro.core.hardware_cost import HardwareCostModel
+
+
+class TestHardwareCost:
+    def test_matches_paper_inventory(self):
+        cost = HardwareCostModel()
+        assert cost.counter_bits_total == 7 * 32
+        assert cost.fsm_bits_total == 6
+        assert cost.warp_bits_total == 96
+
+    def test_bytes_per_sm_close_to_paper_value(self):
+        cost = HardwareCostModel()
+        assert cost.bytes_per_sm == pytest.approx(40.75, abs=0.01)
+
+    def test_total_close_to_paper_value(self):
+        cost = HardwareCostModel()
+        assert cost.bytes_total == pytest.approx(1304, abs=1.0)
+
+    def test_breakdown_sums_to_total(self):
+        cost = HardwareCostModel()
+        breakdown = cost.breakdown()
+        assert (
+            breakdown["performance_counter_bits"]
+            + breakdown["fsm_bits"]
+            + breakdown["warp_queue_bits"]
+        ) == cost.bits_per_sm
+
+    def test_scaling_with_more_sms(self):
+        cost = HardwareCostModel(num_sms=64)
+        assert cost.bytes_total == pytest.approx(2 * 1304, abs=2.0)

@@ -1,0 +1,161 @@
+"""Unit tests for the hardware inference engine and the Poise controller."""
+
+import math
+
+import pytest
+
+from repro.core.inference import HardwareInferenceEngine, HIEState, PoiseParameters
+from repro.core.poise import PoiseController
+from repro.core.training import TrainedModel
+from repro.gpu.gpu import GPU
+from repro.workloads.generator import generate_kernel_programs
+from repro.workloads.spec import KernelSpec
+
+
+def constant_model(n_target: float, p_target: float, max_warps: int = 24) -> TrainedModel:
+    """A model whose prediction is a constant (all weight on the intercept)."""
+    return TrainedModel(
+        alpha_weights=[0.0] * 7 + [math.log(n_target)],
+        beta_weights=[0.0] * 7 + [math.log(p_target)],
+        max_warps=max_warps,
+    )
+
+
+def small_params(**overrides) -> PoiseParameters:
+    defaults = dict(t_period=12_000, t_warmup=200, t_feature=800, t_search=400)
+    defaults.update(overrides)
+    return PoiseParameters(**defaults)
+
+
+@pytest.fixture
+def memory_sensitive_sm(baseline_gpu_config):
+    spec = KernelSpec(
+        name="hie_kernel", num_warps=16, instructions_per_warp=8000,
+        instructions_per_load=3, dep_distance=6, intra_warp_fraction=0.85,
+        inter_warp_fraction=0.1, private_lines=60, shared_lines=128, seed=3,
+    )
+    return GPU(baseline_gpu_config).build_sm(generate_kernel_programs(spec))
+
+
+@pytest.fixture
+def compute_intensive_sm(baseline_gpu_config):
+    spec = KernelSpec(
+        name="hie_compute", num_warps=16, instructions_per_warp=8000,
+        instructions_per_load=120, dep_distance=8, intra_warp_fraction=0.3,
+        inter_warp_fraction=0.3, private_lines=32, shared_lines=64, seed=4,
+    )
+    return GPU(baseline_gpu_config).build_sm(generate_kernel_programs(spec))
+
+
+class TestPoiseParameters:
+    def test_paper_values_match_table_iv(self):
+        params = PoiseParameters.paper()
+        assert params.t_period == 200_000
+        assert params.t_warmup == 2_000
+        assert params.t_feature == 10_000
+        assert params.t_search == 4_000
+        assert params.i_max == 49.0
+        assert (params.stride_n, params.stride_p) == (2, 4)
+        assert params.scoring_weights == (1.0, 0.50, 0.25)
+
+    def test_scaled_preserves_strides_and_cutoff(self):
+        params = PoiseParameters.scaled(0.25)
+        assert params.t_period < PoiseParameters.paper().t_period
+        assert params.i_max == 49.0
+        assert (params.stride_n, params.stride_p) == (2, 4)
+
+    def test_with_strides(self):
+        params = PoiseParameters.paper().with_strides(0, 0)
+        assert params.stride_n == 0 and params.stride_p == 0
+        assert params.t_period == 200_000
+
+
+class TestPredictionStage:
+    def test_prediction_clamped_to_tuple_bounds(self, memory_sensitive_sm):
+        engine = HardwareInferenceEngine(constant_model(100, 50), small_params())
+        predicted, compute_intensive, vector = engine.predict(memory_sensitive_sm, max_warps=16)
+        assert not compute_intensive
+        assert 1 <= predicted[1] <= predicted[0] <= 16
+        assert len(vector.as_list()) == 8
+
+    def test_compute_intensive_kernel_detected_and_bypassed(self, compute_intensive_sm):
+        engine = HardwareInferenceEngine(constant_model(4, 1), small_params())
+        predicted, compute_intensive, _ = engine.predict(compute_intensive_sm, max_warps=16)
+        assert compute_intensive
+        assert predicted == (16, 16)
+        assert engine.state is HIEState.BYPASSED
+
+    def test_memory_sensitive_kernel_not_bypassed(self, memory_sensitive_sm):
+        engine = HardwareInferenceEngine(constant_model(8, 2), small_params())
+        _, compute_intensive, _ = engine.predict(memory_sensitive_sm, max_warps=16)
+        assert not compute_intensive
+
+
+class TestLocalSearch:
+    def test_zero_stride_returns_prediction_unchanged(self, memory_sensitive_sm):
+        engine = HardwareInferenceEngine(constant_model(8, 2), small_params(stride_n=0, stride_p=0))
+        final, samples, visited = engine.local_search(memory_sensitive_sm, (8, 2), 16)
+        assert final == (8, 2)
+        assert samples == 0
+        assert visited == [(8, 2)]
+
+    def test_search_stays_within_tuple_bounds(self, memory_sensitive_sm):
+        engine = HardwareInferenceEngine(constant_model(8, 2), small_params())
+        final, _, visited = engine.local_search(memory_sensitive_sm, (15, 1), 16)
+        for n, p in visited:
+            assert 1 <= p <= n <= 16
+        assert 1 <= final[1] <= final[0] <= 16
+
+    def test_search_visits_neighbours_at_initial_stride(self, memory_sensitive_sm):
+        engine = HardwareInferenceEngine(constant_model(8, 2), small_params(stride_n=2, stride_p=2))
+        _, samples, visited = engine.local_search(memory_sensitive_sm, (8, 4), 16)
+        assert samples >= 2
+        assert any(abs(v[0] - 8) == 2 for v in visited[1:])
+
+
+class TestEpochAndController:
+    def test_run_epoch_records_telemetry(self, memory_sensitive_sm):
+        engine = HardwareInferenceEngine(constant_model(8, 2), small_params())
+        record = engine.run_epoch(memory_sensitive_sm, max_warps=16)
+        assert record.predicted[0] >= 1
+        assert record.visited[0] == record.predicted
+        assert len(engine.epochs) == 1
+        n_disp, p_disp, euclid = engine.mean_displacement()
+        assert euclid <= n_disp + p_disp + 1e-9 or euclid >= 0.0
+
+    def test_epoch_advances_time_by_roughly_t_period(self, memory_sensitive_sm):
+        params = small_params()
+        engine = HardwareInferenceEngine(constant_model(8, 2), params)
+        start = memory_sensitive_sm.cycle
+        engine.run_epoch(memory_sensitive_sm, max_warps=16)
+        elapsed = memory_sensitive_sm.cycle - start
+        assert elapsed >= params.t_period * 0.9
+
+    def test_controller_runs_to_budget_and_reports(self, baseline_gpu_config):
+        spec = KernelSpec(
+            name="controller_kernel", num_warps=12, instructions_per_warp=6000,
+            instructions_per_load=3, dep_distance=5, intra_warp_fraction=0.8,
+            inter_warp_fraction=0.1, private_lines=50, shared_lines=100, seed=9,
+        )
+        controller = PoiseController(constant_model(8, 2), small_params())
+        result = GPU(baseline_gpu_config).run_kernel(
+            generate_kernel_programs(spec), controller=controller, max_cycles=30_000
+        )
+        assert result.telemetry["epochs"] >= 1
+        assert len(result.telemetry["predicted_tuples"]) == result.telemetry["epochs"]
+        # Sampling phases may overrun the budget by at most one epoch's worth
+        # of prediction + search cycles.
+        assert result.counters.cycles <= 30_000 + 15_000
+
+    def test_controller_on_compute_intensive_kernel_keeps_max_warps(self, baseline_gpu_config):
+        spec = KernelSpec(
+            name="controller_compute", num_warps=12, instructions_per_warp=6000,
+            instructions_per_load=100, dep_distance=8, intra_warp_fraction=0.3,
+            inter_warp_fraction=0.3, private_lines=32, shared_lines=64, seed=10,
+        )
+        controller = PoiseController(constant_model(2, 1), small_params())
+        result = GPU(baseline_gpu_config).run_kernel(
+            generate_kernel_programs(spec), controller=controller, max_cycles=30_000
+        )
+        assert result.telemetry["compute_intensive_epochs"] >= 1
+        assert result.warp_tuple == (12, 12)

@@ -1,0 +1,112 @@
+"""Unit tests for the Negative Binomial / Poisson GLM estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.regression import (
+    NegativeBinomialRegression,
+    PoissonRegression,
+    RegressionError,
+)
+
+
+def synthetic_count_data(weights, n_samples=400, seed=0, dispersion=None):
+    """Draw (X, y) with ln(E[y]) = X @ weights, optionally over-dispersed."""
+    rng = np.random.default_rng(seed)
+    n_features = len(weights)
+    X = np.hstack([rng.uniform(0, 1, size=(n_samples, n_features - 1)), np.ones((n_samples, 1))])
+    mu = np.exp(X @ np.asarray(weights))
+    if dispersion is None:
+        y = rng.poisson(mu)
+    else:
+        # NB2: gamma-mixed Poisson with variance mu + dispersion * mu^2.
+        shape = 1.0 / dispersion
+        y = rng.poisson(rng.gamma(shape, mu / shape))
+    return X.tolist(), y.tolist()
+
+
+class TestPoissonRegression:
+    def test_recovers_known_weights(self):
+        true_weights = [0.8, -0.5, 1.2]
+        X, y = synthetic_count_data(true_weights)
+        model = PoissonRegression()
+        result = model.fit(X, y)
+        assert result.converged
+        assert np.allclose(model.weights, true_weights, atol=0.15)
+
+    def test_predictions_match_conditional_mean(self):
+        true_weights = [2.0, 1.0]
+        X, y = synthetic_count_data(true_weights, n_samples=600, seed=3)
+        model = PoissonRegression()
+        model.fit(X, y)
+        predicted = model.predict_mean(X)
+        assert np.corrcoef(predicted, np.asarray(y))[0, 1] > 0.5
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RegressionError):
+            PoissonRegression().predict([[1.0, 1.0]])
+
+    def test_feature_dimension_mismatch_raises(self):
+        X, y = synthetic_count_data([0.5, 1.0])
+        model = PoissonRegression()
+        model.fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict([[1.0, 2.0, 3.0]])
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(RegressionError):
+            PoissonRegression().fit([[1.0, 0.5, 1.0]], [3])
+
+    def test_negative_targets_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonRegression().fit([[1.0], [1.0]], [1, -2])
+
+
+class TestNegativeBinomialRegression:
+    def test_recovers_weights_under_overdispersion(self):
+        true_weights = [1.0, -0.8, 1.5]
+        X, y = synthetic_count_data(true_weights, n_samples=800, seed=7, dispersion=0.3)
+        model = NegativeBinomialRegression()
+        result = model.fit(X, y)
+        assert np.allclose(model.weights, true_weights, atol=0.25)
+        assert result.dispersion > 0.0
+
+    def test_estimates_positive_dispersion_for_overdispersed_data(self):
+        X, y = synthetic_count_data([1.2, 1.0], n_samples=800, seed=11, dispersion=0.5)
+        model = NegativeBinomialRegression()
+        model.fit(X, y)
+        assert model.alpha > 0.05
+
+    def test_fixed_alpha_is_respected(self):
+        X, y = synthetic_count_data([0.7, 1.0], seed=5)
+        model = NegativeBinomialRegression(alpha=0.25)
+        model.fit(X, y)
+        assert model.alpha == pytest.approx(0.25)
+
+    def test_predictions_are_nonnegative_integers(self):
+        X, y = synthetic_count_data([0.6, 0.9], seed=9, dispersion=0.2)
+        model = NegativeBinomialRegression()
+        model.fit(X, y)
+        predictions = model.predict(X[:20])
+        assert predictions.dtype.kind in "iu"
+        assert (predictions >= 0).all()
+
+    def test_predict_one_returns_scalar(self):
+        X, y = synthetic_count_data([0.6, 0.9], seed=9)
+        model = NegativeBinomialRegression()
+        model.fit(X, y)
+        value = model.predict_one(X[0])
+        assert isinstance(value, float) and value >= 0.0
+
+    def test_sample_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            NegativeBinomialRegression().fit([[1.0], [1.0]], [1, 2, 3])
+
+    def test_nb_and_poisson_agree_on_equidispersed_data(self):
+        true_weights = [0.9, 1.1]
+        X, y = synthetic_count_data(true_weights, n_samples=600, seed=13)
+        nb = NegativeBinomialRegression()
+        poisson = PoissonRegression()
+        nb.fit(X, y)
+        poisson.fit(X, y)
+        assert np.allclose(nb.weights, poisson.weights, atol=0.1)

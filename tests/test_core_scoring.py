@@ -1,0 +1,87 @@
+"""Unit tests for the Eq. 12 neighbourhood scoring."""
+
+import pytest
+
+from repro.core.scoring import (
+    DEFAULT_WEIGHTS,
+    best_raw_point,
+    score_grid,
+    score_point,
+    select_training_target,
+)
+
+
+def flat_grid(value=1.0, size=5):
+    return {(n, p): value for n in range(1, size + 1) for p in range(1, n + 1)}
+
+
+class TestScorePoint:
+    def test_isolated_point_scores_its_own_speedup(self):
+        grid = {(3, 3): 1.4}
+        assert score_point(grid, (3, 3)) == pytest.approx(1.4)
+
+    def test_unknown_point_raises(self):
+        with pytest.raises(KeyError):
+            score_point({(1, 1): 1.0}, (2, 2))
+
+    def test_uniform_grid_scores_uniformly(self):
+        grid = flat_grid(1.2)
+        scores = score_grid(grid)
+        for value in scores.values():
+            assert value == pytest.approx(1.2)
+
+    def test_score_is_weighted_neighbourhood_average(self):
+        # Centre point with one edge neighbour: (1*a + 0.5*b) / 1.5.
+        grid = {(2, 2): 1.0, (3, 2): 2.0}
+        expected = (1.0 * 1.0 + 0.5 * 2.0) / 1.5
+        assert score_point(grid, (2, 2)) == pytest.approx(expected)
+
+    def test_diagonal_neighbours_use_third_weight(self):
+        grid = {(2, 2): 1.0, (3, 3): 2.0}
+        expected = (1.0 * 1.0 + 0.25 * 2.0) / 1.25
+        assert score_point(grid, (2, 2)) == pytest.approx(expected)
+
+    def test_missing_neighbours_do_not_penalise_boundary_points(self):
+        # A corner point surrounded by equal speedups scores the same as an
+        # interior point surrounded by equal speedups.
+        grid = flat_grid(1.3, size=6)
+        scores = score_grid(grid)
+        assert scores[(1, 1)] == pytest.approx(scores[(4, 2)])
+
+
+class TestTargetSelection:
+    def test_cliff_peak_loses_to_safe_plateau(self):
+        # A tall spike next to deep slowdowns vs a slightly lower plateau.
+        grid = {}
+        for n in range(1, 8):
+            for p in range(1, n + 1):
+                grid[(n, p)] = 1.0
+        grid[(2, 1)] = 1.5   # the spike...
+        grid[(3, 1)] = 0.4   # ...next to a cliff
+        grid[(2, 2)] = 0.5
+        for point in ((6, 3), (6, 4), (5, 3), (5, 4), (7, 3), (7, 4), (6, 2), (5, 2), (7, 2)):
+            grid[point] = 1.35  # the safe plateau
+        target = select_training_target(grid)
+        assert target.point != (2, 1)
+        assert grid[target.point] >= 1.3
+
+    def test_scored_target_speedup_never_exceeds_raw_peak(self):
+        grid = {(n, p): 1.0 + 0.01 * n * p for n in range(1, 10) for p in range(1, n + 1)}
+        peak = best_raw_point(grid)
+        target = select_training_target(grid)
+        assert target.speedup <= peak.speedup + 1e-12
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(ValueError):
+            select_training_target({})
+        with pytest.raises(ValueError):
+            best_raw_point({})
+
+    def test_custom_weights_change_selection(self):
+        grid = {(1, 1): 1.0, (2, 1): 1.2, (2, 2): 0.2}
+        # With aggressive neighbour weighting the lonely-but-safe point wins.
+        selfish = select_training_target(grid, weights=(1.0, 0.0, 0.0))
+        assert selfish.point == (2, 1)
+
+    def test_default_weights_are_table_iv(self):
+        assert DEFAULT_WEIGHTS == (1.0, 0.50, 0.25)

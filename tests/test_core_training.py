@@ -1,0 +1,133 @@
+"""Unit tests for the training pipeline, thresholds, scaling and model store."""
+
+import math
+
+import pytest
+
+from repro.core.features import FeatureVector
+from repro.core.model_store import load_model, save_model
+from repro.core.training import (
+    TrainedModel,
+    TrainingExample,
+    TrainingThresholds,
+    prediction_errors,
+)
+
+
+def make_features(**overrides):
+    defaults = dict(
+        h_o=0.1, h_prime=0.6, eta_o=0.05, eta_prime=0.55,
+        instructions_per_load=3.0, latency_pressure=-100.0,
+    )
+    defaults.update(overrides)
+    return FeatureVector(**defaults)
+
+
+def make_example(**overrides):
+    defaults = dict(
+        kernel_name="k", benchmark_name="b", features=make_features(),
+        target=(12, 2), max_warps=24, best_speedup=1.2, target_speedup=1.15,
+        baseline_cycles=50_000,
+    )
+    defaults.update(overrides)
+    return TrainingExample(**defaults)
+
+
+def make_model(alpha=None, beta=None, max_warps=24, **kwargs):
+    # Weights that put all mass on the intercept: exp(w8) is the prediction.
+    alpha = alpha if alpha is not None else [0.0] * 7 + [math.log(12.0)]
+    beta = beta if beta is not None else [0.0] * 7 + [math.log(3.0)]
+    return TrainedModel(alpha_weights=alpha, beta_weights=beta, max_warps=max_warps, **kwargs)
+
+
+class TestThresholds:
+    def test_admits_kernel_meeting_all_criteria(self):
+        thresholds = TrainingThresholds(min_speedup=1.015, min_cycles=10_000)
+        assert thresholds.admits(make_example())
+
+    def test_rejects_low_speedup(self):
+        thresholds = TrainingThresholds(min_speedup=1.015)
+        assert not thresholds.admits(make_example(best_speedup=1.005))
+
+    def test_rejects_short_kernels(self):
+        thresholds = TrainingThresholds(min_cycles=10_000)
+        assert not thresholds.admits(make_example(baseline_cycles=500))
+
+    def test_rejects_zero_reference_hit_rate(self):
+        thresholds = TrainingThresholds()
+        assert not thresholds.admits(
+            make_example(features=make_features(h_prime=0.0))
+        )
+
+
+class TestScalingAndPrediction:
+    def test_scaled_target_normalises_to_scheduler_budget(self):
+        example = make_example(target=(8, 2), max_warps=16)
+        assert example.scaled_target(24) == (12.0, 3.0)
+
+    def test_model_predicts_via_link_function(self):
+        model = make_model()
+        n, p = model.predict(make_features())
+        assert n == 12 and p == 3
+
+    def test_prediction_reverse_scales_to_kernel_budget(self):
+        model = make_model()
+        n, p = model.predict(make_features(), max_warps=12)
+        # exp weights give (12, 3) at 24 warps -> (6, 1.5->2) at 12 warps.
+        assert n == 6 and p == 2
+
+    def test_prediction_clamped_to_valid_tuple(self):
+        model = make_model(alpha=[0.0] * 7 + [10.0], beta=[0.0] * 7 + [10.0])
+        n, p = model.predict(make_features())
+        assert 1 <= p <= n <= 24
+
+    def test_feature_mask_shrinks_the_vector(self):
+        model = make_model(
+            alpha=[0.0] * 6 + [math.log(10.0)],
+            beta=[0.0] * 6 + [math.log(2.0)],
+            feature_mask=[4],
+        )
+        features = make_features()
+        assert len(model.active_features(features)) == 7
+        assert model.predict(features) == (10, 2)
+
+    def test_prediction_errors_metric(self):
+        model = make_model()
+        examples = [make_example(target=(12, 3)), make_example(target=(6, 3))]
+        error_n, error_p = prediction_errors(model, examples)
+        assert error_n == pytest.approx((0.0 + 1.0) / 2)
+        assert error_p == pytest.approx(0.0)
+
+    def test_prediction_errors_empty(self):
+        assert prediction_errors(make_model(), []) == (0.0, 0.0)
+
+
+class TestModelStore:
+    def test_round_trip(self, tmp_path):
+        model = make_model(
+            dispersion_n=0.2, dispersion_p=0.3, num_training_kernels=14,
+            metadata={"deviance_n": 1.5},
+        )
+        path = save_model(model, tmp_path / "model.json")
+        loaded = load_model(path)
+        assert loaded.alpha_weights == pytest.approx(model.alpha_weights)
+        assert loaded.beta_weights == pytest.approx(model.beta_weights)
+        assert loaded.max_warps == model.max_warps
+        assert loaded.num_training_kernels == 14
+        assert loaded.metadata["deviance_n"] == pytest.approx(1.5)
+
+    def test_round_trip_preserves_feature_mask(self, tmp_path):
+        model = make_model(feature_mask=[2, 5])
+        loaded = load_model(save_model(model, tmp_path / "masked.json"))
+        assert loaded.feature_mask == [2, 5]
+
+    def test_rejects_unknown_format_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99}')
+        with pytest.raises(ValueError):
+            load_model(path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        nested = tmp_path / "a" / "b" / "model.json"
+        save_model(make_model(), nested)
+        assert nested.exists()

@@ -1,0 +1,156 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.gpu.cache import SetAssociativeCache
+from repro.gpu.config import CacheConfig
+
+
+def make_cache(num_sets=4, assoc=2, indexing="linear"):
+    config = CacheConfig(
+        size_bytes=num_sets * assoc * 128,
+        assoc=assoc,
+        line_size=128,
+        mshr_entries=4,
+        indexing=indexing,
+    )
+    return SetAssociativeCache(config, name="test")
+
+
+class TestBasicAccess:
+    def test_first_access_misses_then_hits(self):
+        cache = make_cache()
+        first = cache.access(10, warp_id=0)
+        assert not first.hit and first.allocated
+        second = cache.access(10, warp_id=0)
+        assert second.hit
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_probe_does_not_change_state(self):
+        cache = make_cache()
+        assert not cache.probe(5)
+        cache.access(5, warp_id=0)
+        hits_before = cache.hits
+        assert cache.probe(5)
+        assert cache.hits == hits_before
+
+    def test_bypass_miss_does_not_allocate(self):
+        cache = make_cache()
+        result = cache.access(7, warp_id=0, allocate=False)
+        assert not result.hit and not result.allocated
+        assert cache.bypasses == 1
+        assert not cache.probe(7)
+
+    def test_bypassed_request_can_still_hit(self):
+        cache = make_cache()
+        cache.access(7, warp_id=0, allocate=True)
+        result = cache.access(7, warp_id=1, allocate=False)
+        assert result.hit
+
+    def test_hit_rate_property(self):
+        cache = make_cache()
+        cache.access(1, 0)
+        cache.access(1, 0)
+        cache.access(2, 0)
+        assert cache.accesses == 3
+        assert cache.hit_rate == pytest.approx(1 / 3)
+
+
+class TestReplacement:
+    def test_lru_eviction_within_set(self):
+        cache = make_cache(num_sets=1, assoc=2)
+        cache.access(1, 0)
+        cache.access(2, 0)
+        cache.access(1, 0)  # touch 1, making 2 the LRU victim
+        result = cache.access(3, 0)
+        assert result.evicted_line_addr == 2
+        assert cache.probe(1) and cache.probe(3) and not cache.probe(2)
+
+    def test_invalid_lines_are_preferred_victims(self):
+        cache = make_cache(num_sets=1, assoc=4)
+        cache.access(1, 0)
+        result = cache.access(2, 0)
+        assert result.evicted_line_addr is None  # filled an invalid way
+        assert cache.evictions == 0
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        cache = make_cache(num_sets=2, assoc=2, indexing="linear")
+        # 8 distinct lines cycling through a 4-line cache: zero hits.
+        for _ in range(5):
+            for line in range(8):
+                cache.access(line, 0)
+        assert cache.hits == 0
+
+    def test_working_set_fitting_in_cache_hits(self):
+        cache = make_cache(num_sets=2, assoc=2, indexing="linear")
+        for _ in range(5):
+            for line in range(4):
+                cache.access(line, 0)
+        assert cache.hit_rate > 0.7
+
+
+class TestIndexing:
+    def test_linear_indexing_maps_consecutive_lines_to_consecutive_sets(self):
+        cache = make_cache(num_sets=4, assoc=2, indexing="linear")
+        assert [cache.set_index(line) for line in range(4)] == [0, 1, 2, 3]
+        assert cache.set_index(4) == 0
+
+    def test_hash_indexing_stays_in_range(self):
+        cache = make_cache(num_sets=4, assoc=2, indexing="hash")
+        for line in range(0, 10_000, 37):
+            assert 0 <= cache.set_index(line) < 4
+
+    def test_hash_indexing_spreads_strided_addresses(self):
+        # Addresses with stride == num_sets all collide under linear indexing;
+        # the hashed index must spread them across more than one set.
+        linear = make_cache(num_sets=8, assoc=2, indexing="linear")
+        hashed = make_cache(num_sets=8, assoc=2, indexing="hash")
+        addresses = [i * 8 for i in range(64)]
+        linear_sets = {linear.set_index(a) for a in addresses}
+        hashed_sets = {hashed.set_index(a) for a in addresses}
+        assert len(linear_sets) == 1
+        assert len(hashed_sets) > 1
+
+
+class TestIntraInterWarpClassification:
+    def test_same_warp_rereference_is_intra_warp(self):
+        cache = make_cache()
+        cache.access(9, warp_id=3)
+        result = cache.access(9, warp_id=3)
+        assert result.hit and result.intra_warp
+
+    def test_other_warp_rereference_is_inter_warp(self):
+        cache = make_cache()
+        cache.access(9, warp_id=3)
+        result = cache.access(9, warp_id=4)
+        assert result.hit and not result.intra_warp
+
+    def test_ownership_transfers_on_hit(self):
+        cache = make_cache()
+        cache.access(9, warp_id=3)
+        cache.access(9, warp_id=4)
+        result = cache.access(9, warp_id=4)
+        assert result.intra_warp
+
+
+class TestManagement:
+    def test_flush_empties_the_cache(self):
+        cache = make_cache()
+        cache.access(1, 0)
+        cache.access(2, 0)
+        cache.flush()
+        assert cache.resident_lines() == 0
+        assert not cache.probe(1)
+
+    def test_reset_stats_keeps_contents(self):
+        cache = make_cache()
+        cache.access(1, 0)
+        cache.reset_stats()
+        assert cache.hits == cache.misses == 0
+        assert cache.probe(1)
+
+    def test_resident_lines_counts_valid_lines(self):
+        cache = make_cache(num_sets=2, assoc=2)
+        for line in range(3):
+            cache.access(line, 0)
+        assert cache.resident_lines() == 3

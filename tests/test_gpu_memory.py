@@ -1,0 +1,98 @@
+"""Unit tests for the L2/DRAM memory subsystem model."""
+
+from repro.gpu.config import CacheConfig, MemoryConfig
+from repro.gpu.memory import MemorySubsystem
+
+
+def make_memory(**overrides):
+    config = MemoryConfig(
+        l2=CacheConfig(size_bytes=8 * 128, assoc=2, line_size=128, mshr_entries=8),
+        l2_latency=20,
+        l2_service_interval=2.0,
+        dram_latency=100,
+        dram_service_interval=10.0,
+        **overrides,
+    )
+    return MemorySubsystem(config)
+
+
+class TestRequestPath:
+    def test_first_request_goes_to_dram(self):
+        memory = make_memory()
+        response = memory.request(1, cycle=0, warp_id=0)
+        assert response.served_by == "dram"
+        assert response.latency >= 120  # l2 + dram base latency
+        assert memory.dram_accesses == 1
+
+    def test_second_request_to_same_line_hits_l2(self):
+        memory = make_memory()
+        memory.request(1, cycle=0, warp_id=0)
+        response = memory.request(1, cycle=500, warp_id=0)
+        assert response.served_by == "l2"
+        assert response.latency < 100
+        assert memory.l2_hits == 1
+
+    def test_completion_cycle_is_issue_plus_latency(self):
+        memory = make_memory()
+        response = memory.request(1, cycle=37, warp_id=0)
+        assert response.completion_cycle == 37 + response.latency
+
+    def test_l2_thrashing_sends_rereferences_to_dram(self):
+        memory = make_memory()
+        # 64 distinct lines >> 16-line L2: re-references still miss.
+        for line in range(64):
+            memory.request(line, cycle=line * 200, warp_id=0)
+        before = memory.dram_accesses
+        memory.request(0, cycle=100_000, warp_id=0)
+        assert memory.dram_accesses == before + 1
+
+
+class TestQueueing:
+    def test_back_to_back_requests_queue_behind_each_other(self):
+        memory = make_memory()
+        latencies = [memory.request(line, cycle=0, warp_id=0).latency for line in range(10)]
+        # Later requests wait behind earlier ones at the DRAM server.
+        assert latencies[-1] > latencies[0]
+        assert latencies == sorted(latencies)
+
+    def test_spread_out_requests_do_not_queue(self):
+        memory = make_memory()
+        first = memory.request(0, cycle=0, warp_id=0).latency
+        second = memory.request(1, cycle=10_000, warp_id=0).latency
+        assert second == first
+
+    def test_congestion_factor_scales_queueing(self):
+        calm = make_memory()
+        congested = make_memory(congestion_factor=4.0)
+        for line in range(10):
+            calm.request(line, cycle=0, warp_id=0)
+            congested.request(line, cycle=0, warp_id=0)
+        assert congested.average_latency > calm.average_latency
+
+    def test_queue_delay_is_capped(self):
+        memory = make_memory(max_queue_delay=50)
+        latencies = [memory.request(line, cycle=0, warp_id=0).latency for line in range(200)]
+        assert max(latencies) <= 20 + 100 + 50 + 50  # base latencies + both caps
+
+
+class TestStats:
+    def test_average_latency_tracks_requests(self):
+        memory = make_memory()
+        memory.request(0, cycle=0, warp_id=0)
+        memory.request(1, cycle=5_000, warp_id=0)
+        assert memory.requests == 2
+        assert memory.average_latency > 0
+
+    def test_reset_stats(self):
+        memory = make_memory()
+        memory.request(0, cycle=0, warp_id=0)
+        memory.reset_stats()
+        assert memory.requests == 0
+        assert memory.average_latency == 0.0
+
+    def test_flush_clears_l2_contents(self):
+        memory = make_memory()
+        memory.request(0, cycle=0, warp_id=0)
+        memory.flush()
+        response = memory.request(0, cycle=10_000, warp_id=0)
+        assert response.served_by == "dram"

@@ -1,0 +1,62 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.gpu.mshr import MSHRFile
+
+
+class TestMSHRFile:
+    def test_requires_positive_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    def test_allocate_new_entry(self):
+        mshr = MSHRFile(2)
+        assert mshr.allocate(100, warp_id=0, token=1) == "allocated"
+        assert mshr.occupancy == 1
+        assert mshr.allocations == 1
+
+    def test_merge_into_existing_entry(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(100, warp_id=0, token=1)
+        assert mshr.allocate(100, warp_id=1, token=2) == "merged"
+        assert mshr.occupancy == 1
+        assert mshr.merges == 1
+
+    def test_full_file_rejects_new_lines_but_merges_existing(self):
+        mshr = MSHRFile(1)
+        mshr.allocate(100, 0, 1)
+        assert mshr.allocate(200, 0, 2) == "full"
+        assert mshr.stalls == 1
+        assert mshr.allocate(100, 1, 3) == "merged"
+
+    def test_release_returns_all_waiters_in_order(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(100, 0, 1)
+        mshr.allocate(100, 1, 2)
+        mshr.allocate(100, 2, 3)
+        waiters = mshr.release(100)
+        assert waiters == [(0, 1), (1, 2), (2, 3)]
+        assert mshr.occupancy == 0
+
+    def test_release_unknown_line_is_empty(self):
+        mshr = MSHRFile(2)
+        assert mshr.release(123) == []
+
+    def test_release_frees_capacity(self):
+        mshr = MSHRFile(1)
+        mshr.allocate(100, 0, 1)
+        mshr.release(100)
+        assert mshr.allocate(200, 0, 2) == "allocated"
+
+    def test_lookup(self):
+        mshr = MSHRFile(2)
+        assert mshr.lookup(5) is None
+        mshr.allocate(5, 0, 1)
+        assert mshr.lookup(5).line_addr == 5
+
+    def test_clear(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(5, 0, 1)
+        mshr.clear()
+        assert mshr.occupancy == 0

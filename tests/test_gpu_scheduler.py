@@ -1,0 +1,103 @@
+"""Unit tests for the GTO scheduler with vital/pollute bits."""
+
+from repro.gpu.isa import alu, load
+from repro.gpu.scheduler import GTOScheduler
+from repro.gpu.warp import make_warps
+
+
+def make_scheduler(num_warps=4, program_length=4, max_warps=4):
+    programs = [[alu(pc=i) for i in range(program_length)] for _ in range(num_warps)]
+    warps = make_warps(programs)
+    return GTOScheduler(warps, max_warps=max_warps), warps
+
+
+class TestWarpTupleControl:
+    def test_default_tuple_is_maximum(self):
+        scheduler, _ = make_scheduler()
+        assert scheduler.warp_tuple == (4, 4)
+
+    def test_set_warp_tuple_clamps_to_bounds(self):
+        scheduler, _ = make_scheduler()
+        scheduler.set_warp_tuple(100, 50)
+        assert scheduler.warp_tuple == (4, 4)
+        scheduler.set_warp_tuple(0, 0)
+        assert scheduler.warp_tuple == (1, 1)
+        scheduler.set_warp_tuple(3, 5)  # p must not exceed n
+        assert scheduler.warp_tuple == (3, 3)
+
+    def test_vital_and_pollute_bits_follow_oldest_warps(self):
+        scheduler, warps = make_scheduler()
+        scheduler.set_warp_tuple(2, 1)
+        assert scheduler.is_vital(warps[0]) and scheduler.is_vital(warps[1])
+        assert not scheduler.is_vital(warps[2]) and not scheduler.is_vital(warps[3])
+        assert scheduler.is_polluting(warps[0]) and not scheduler.is_polluting(warps[1])
+
+    def test_bits_refresh_when_a_warp_exits(self):
+        scheduler, warps = make_scheduler(program_length=1)
+        scheduler.set_warp_tuple(1, 1)
+        # Retire the oldest warp; the next oldest must inherit the privileges.
+        warps[0].advance()
+        assert warps[0].done
+        scheduler.on_warp_exit()
+        assert scheduler.is_vital(warps[1]) and scheduler.is_polluting(warps[1])
+        assert not scheduler.is_vital(warps[2])
+
+
+class TestArbitration:
+    def test_only_vital_warps_are_picked(self):
+        scheduler, warps = make_scheduler()
+        scheduler.set_warp_tuple(2, 2)
+        picked = set()
+        for _ in range(16):
+            warp = scheduler.pick()
+            assert warp is not None
+            picked.add(warp.wid)
+            warp.advance()
+            if warp.done:
+                scheduler.on_warp_exit()
+        assert picked.issubset({0, 1, 2, 3})
+        # The two oldest must have been scheduled before the others started.
+        assert 0 in picked and 1 in picked
+
+    def test_greedy_keeps_issuing_from_same_warp(self):
+        scheduler, warps = make_scheduler()
+        first = scheduler.pick()
+        scheduler.note_issue(first)
+        second = scheduler.pick()
+        assert second is first
+
+    def test_falls_back_to_oldest_ready_warp(self):
+        programs = [[load(1, dep_distance=0), alu()], [alu(), alu()]]
+        warps = make_warps(programs)
+        scheduler = GTOScheduler(warps, max_warps=2)
+        first = scheduler.pick()
+        assert first.wid == 0
+        # Warp 0 issues its load and stalls immediately on the dependence.
+        first.record_load_issue(token=1, dep_distance=0, cycle=0)
+        first.advance()
+        scheduler.note_issue(first)
+        assert not first.is_schedulable()
+        fallback = scheduler.pick()
+        assert fallback.wid == 1
+
+    def test_pick_returns_none_when_all_vital_warps_stalled(self):
+        programs = [[load(1, dep_distance=0), alu()], [alu(), alu()]]
+        warps = make_warps(programs)
+        scheduler = GTOScheduler(warps, max_warps=2)
+        scheduler.set_warp_tuple(1, 1)
+        warp = scheduler.pick()
+        warp.record_load_issue(token=1, dep_distance=0, cycle=0)
+        warp.advance()
+        assert scheduler.pick() is None  # warp 1 is not vital
+
+    def test_any_warp_active(self):
+        scheduler, warps = make_scheduler(num_warps=1, program_length=1)
+        assert scheduler.any_warp_active()
+        warps[0].advance()
+        assert not scheduler.any_warp_active()
+
+    def test_reset_clears_greedy_state(self):
+        scheduler, warps = make_scheduler()
+        scheduler.note_issue(warps[2])
+        scheduler.reset()
+        assert scheduler.pick().wid == 0

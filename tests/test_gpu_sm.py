@@ -1,0 +1,170 @@
+"""Unit/integration tests for the SM cycle loop."""
+
+import pytest
+
+from repro.gpu.isa import alu, load
+from repro.gpu.sm import StreamingMultiprocessor
+from tests.conftest import make_alu_program, make_looping_program, make_streaming_program
+
+
+def build_sm(config, programs):
+    return StreamingMultiprocessor(config, programs)
+
+
+class TestExecutionBasics:
+    def test_pure_alu_kernel_runs_at_ipc_one(self, small_gpu_config):
+        sm = build_sm(small_gpu_config, [make_alu_program(100)])
+        sm.run_to_completion()
+        assert sm.done
+        assert sm.counters.instructions == 100
+        assert sm.counters.ipc == pytest.approx(1.0, abs=0.05)
+
+    def test_rejects_more_warps_than_scheduler_supports(self, small_gpu_config):
+        with pytest.raises(ValueError):
+            build_sm(small_gpu_config, [make_alu_program(4)] * 10)
+
+    def test_run_cycles_respects_budget(self, small_gpu_config):
+        sm = build_sm(small_gpu_config, [make_streaming_program(1000)])
+        consumed = sm.run_cycles(50)
+        assert consumed <= 50 + 1
+        assert not sm.done
+
+    def test_kernel_completes_and_all_loads_return(self, small_gpu_config):
+        sm = build_sm(small_gpu_config, [make_streaming_program(20, dep=2)] * 2)
+        sm.run_to_completion()
+        assert sm.done
+        assert sm.counters.loads == 40
+        assert sm.counters.l1_misses == sm.counters.miss_requests
+        for warp in sm.warps:
+            assert not warp.outstanding
+
+    def test_snapshot_delta_isolates_a_window(self, small_gpu_config):
+        sm = build_sm(small_gpu_config, [make_streaming_program(500, dep=4)] * 2)
+        sm.run_cycles(200)
+        before = sm.snapshot()
+        sm.run_cycles(300)
+        window = sm.counters - before
+        assert window.cycles <= 300 + 1
+        assert window.instructions <= sm.counters.instructions
+
+
+class TestMemoryBehaviour:
+    def test_streaming_kernel_has_zero_hit_rate(self, small_gpu_config):
+        sm = build_sm(small_gpu_config, [make_streaming_program(100, dep=2)])
+        sm.run_to_completion()
+        assert sm.counters.l1_hits == 0
+        assert sm.counters.l1_misses == 100
+
+    def test_looping_kernel_hits_after_warmup(self, small_gpu_config):
+        sm = build_sm(small_gpu_config, [make_looping_program(200, footprint=4, dep=2)])
+        sm.run_to_completion()
+        assert sm.counters.l1_hit_rate > 0.9
+
+    def test_stall_cycles_accumulate_for_memory_bound_kernels(self, small_gpu_config):
+        sm = build_sm(small_gpu_config, [make_streaming_program(50, dep=0)])
+        sm.run_to_completion()
+        assert sm.counters.stall_cycles > sm.counters.busy_cycles
+
+    def test_aml_reflects_memory_latency(self, small_gpu_config):
+        sm = build_sm(small_gpu_config, [make_streaming_program(50, dep=0)])
+        sm.run_to_completion()
+        assert sm.counters.aml >= small_gpu_config.memory.l2_latency
+
+    def test_mshr_merging_for_bypassed_misses_to_same_line(self, small_gpu_config):
+        # Two non-polluting warps miss on the same line: the second miss merges
+        # into the first one's MSHR entry, so only one request leaves the SM
+        # for that line.
+        programs = [
+            [load(7, dep_distance=0)],     # polluting warp, its own line
+            [load(42, dep_distance=0)],    # non-polluting (bypassed) miss
+            [load(42, dep_distance=0)],    # same line: must merge
+        ]
+        sm = build_sm(small_gpu_config, programs)
+        sm.set_warp_tuple(3, 1)
+        sm.run_to_completion()
+        assert sm.counters.l1_misses == 3
+        assert sm.mshr.merges == 1
+        assert sm.memory.requests == 2
+
+    def test_second_access_to_reserved_line_hits(self, small_gpu_config):
+        # An allocating miss reserves the line immediately, so a later access
+        # by another warp hits in the L1 instead of issuing a second request.
+        program = [load(42, dep_distance=0)]
+        sm = build_sm(small_gpu_config, [program, list(program)])
+        sm.run_to_completion()
+        assert sm.memory.requests == 1
+        assert sm.counters.l1_hits == 1
+
+    def test_intra_and_inter_warp_hits_classified(self, small_gpu_config):
+        programs = [
+            # Warp 0 re-touches its own line 7 (intra-warp hit).
+            [load(7, dep_distance=1), alu(), load(7, dep_distance=1), alu()],
+            # Warp 1 brings in line 8; warp 2 then touches it (inter-warp hit).
+            [load(8, dep_distance=1), alu(), alu(), alu()],
+            [alu(), alu(), load(8, dep_distance=1), alu()],
+        ]
+        sm = build_sm(small_gpu_config, programs)
+        sm.run_to_completion()
+        assert sm.counters.intra_warp_hits >= 1
+        assert sm.counters.inter_warp_hits >= 1
+        assert sm.counters.l1_hits == sm.counters.intra_warp_hits + sm.counters.inter_warp_hits
+
+
+class TestWarpTupleEffects:
+    def test_non_polluting_warps_never_allocate(self, small_gpu_config):
+        # Warp 1 is non-polluting for its whole (shorter) lifetime: its lines
+        # must not become resident.  Warp 0's program is much longer-running
+        # (streaming misses) so the pollute privilege never passes on while
+        # warp 1 is still issuing loads.
+        programs = [
+            make_streaming_program(400, base=0, dep=1),
+            make_looping_program(40, footprint=2, base=10_000, dep=1),
+        ]
+        sm = build_sm(small_gpu_config, programs)
+        sm.set_warp_tuple(2, 1)
+        sm.run_to_completion()
+        assert sm.counters.l1_bypasses > 0
+        assert not sm.l1.probe(10_000)
+        assert not sm.l1.probe(10_001)
+
+    def test_non_vital_warps_do_not_issue(self, small_gpu_config):
+        programs = [make_alu_program(50), make_alu_program(50), make_alu_program(50)]
+        sm = build_sm(small_gpu_config, programs)
+        sm.set_warp_tuple(1, 1)
+        sm.run_cycles(30)
+        assert sm.warps[0].issued_instructions > 0
+        assert sm.warps[1].issued_instructions == 0
+        assert sm.warps[2].issued_instructions == 0
+
+    def test_vital_privilege_passes_on_when_oldest_finishes(self, small_gpu_config):
+        programs = [make_alu_program(10), make_alu_program(10)]
+        sm = build_sm(small_gpu_config, programs)
+        sm.set_warp_tuple(1, 1)
+        sm.run_to_completion()
+        assert sm.done
+        assert sm.warps[1].issued_instructions == 10
+
+    def test_throttling_changes_reported_tuple(self, small_gpu_config):
+        sm = build_sm(small_gpu_config, [make_alu_program(10)] * 3)
+        sm.set_warp_tuple(2, 1)
+        assert sm.warp_tuple == (2, 1)
+
+    def test_thrashing_relieved_by_polluting_restriction(self, baseline_gpu_config):
+        # Many warps with disjoint footprints larger than the cache: with all
+        # of them polluting the hit rate collapses; restricting pollution to
+        # one warp recovers that warp's locality (the Fig. 1 effect).
+        def programs():
+            return [
+                make_looping_program(1500, footprint=40, base=warp * 100_000, dep=4)
+                for warp in range(12)
+            ]
+
+        thrash = StreamingMultiprocessor(baseline_gpu_config, programs())
+        thrash.set_warp_tuple(12, 12)
+        thrash.run_cycles(20_000)
+
+        limited = StreamingMultiprocessor(baseline_gpu_config, programs())
+        limited.set_warp_tuple(12, 1)
+        limited.run_cycles(20_000)
+
+        assert limited.counters.polluting_hit_rate > thrash.counters.l1_hit_rate + 0.2

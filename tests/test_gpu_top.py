@@ -1,0 +1,54 @@
+"""Tests for the GPU facade and RunResult."""
+
+import pytest
+
+from repro.gpu.gpu import GPU
+from repro.schedulers.base import FixedTupleController
+from tests.conftest import make_looping_program, make_streaming_program
+
+
+class TestRunKernel:
+    def test_default_run_uses_maximum_warps(self, small_gpu_config):
+        gpu = GPU(small_gpu_config)
+        result = gpu.run_kernel([make_streaming_program(30)] * 2)
+        assert result.warp_tuple == (small_gpu_config.max_warps, small_gpu_config.max_warps)
+        assert result.completed
+        assert result.cycles == result.counters.cycles
+
+    def test_static_warp_tuple_is_respected(self, small_gpu_config):
+        gpu = GPU(small_gpu_config)
+        result = gpu.run_kernel([make_streaming_program(30)] * 3, warp_tuple=(2, 1))
+        assert result.warp_tuple == (2, 1)
+
+    def test_controller_drives_the_run(self, small_gpu_config):
+        gpu = GPU(small_gpu_config)
+        controller = FixedTupleController(3, 2)
+        result = gpu.run_kernel([make_streaming_program(30)] * 4, controller=controller)
+        assert result.warp_tuple == (3, 2)
+        assert result.telemetry["warp_tuple"] == (3, 2)
+
+    def test_max_cycles_truncates_execution(self, small_gpu_config):
+        gpu = GPU(small_gpu_config)
+        result = gpu.run_kernel([make_streaming_program(10_000, dep=2)], max_cycles=500)
+        assert not result.completed
+        assert result.cycles <= 501
+
+    def test_speedup_over_baseline(self, small_gpu_config):
+        gpu = GPU(small_gpu_config)
+        slow = gpu.run_kernel([make_streaming_program(200, dep=1)])
+        fast = gpu.run_kernel([make_looping_program(200, footprint=4, dep=1)])
+        assert fast.speedup_over(slow) > 1.0
+        assert slow.speedup_over(slow) == pytest.approx(1.0)
+
+    def test_energy_report_attached(self, small_gpu_config):
+        gpu = GPU(small_gpu_config)
+        result = gpu.run_kernel([make_streaming_program(50)])
+        assert result.energy.total_pj > 0
+        assert result.energy.dram_pj > 0
+
+    def test_derived_metric_properties(self, small_gpu_config):
+        gpu = GPU(small_gpu_config)
+        result = gpu.run_kernel([make_looping_program(100, footprint=4, dep=1)])
+        assert 0.0 <= result.l1_hit_rate <= 1.0
+        assert result.aml >= 0.0
+        assert result.ipc > 0.0

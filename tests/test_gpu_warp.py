@@ -1,0 +1,98 @@
+"""Unit tests for warp state and the load/use dependency model."""
+
+import pytest
+
+from repro.gpu.isa import alu, load
+from repro.gpu.warp import Warp, make_warps
+
+
+def make_warp(program):
+    return Warp(wid=0, program=program)
+
+
+class TestWarpBasics:
+    def test_empty_program_is_done_immediately(self):
+        warp = make_warp([])
+        assert warp.done
+
+    def test_advance_tracks_issued_instructions(self):
+        warp = make_warp([alu(), alu(), alu()])
+        warp.advance()
+        warp.advance()
+        assert warp.issued_instructions == 2
+        assert warp.pc == 2
+        assert not warp.done
+        warp.advance()
+        assert warp.done
+
+    def test_current_instruction_none_after_end(self):
+        warp = make_warp([alu()])
+        warp.advance()
+        assert warp.current_instruction() is None
+
+    def test_make_warps_orders_by_age(self):
+        warps = make_warps([[alu()], [alu()], [alu()]])
+        assert [warp.wid for warp in warps] == [0, 1, 2]
+
+
+class TestDependencyStalls:
+    def test_warp_schedulable_until_first_dependent_instruction(self):
+        # Load at index 0 with dep_distance 2: indices 1 and 2 are independent,
+        # index 3 depends on the load.
+        program = [load(10, dep_distance=2), alu(), alu(), alu()]
+        warp = make_warp(program)
+        warp.record_load_issue(token=1, dep_distance=2, cycle=0)
+        warp.advance()  # issued the load, pc=1
+        assert warp.is_schedulable()
+        warp.advance()  # pc=2
+        assert warp.is_schedulable()
+        warp.advance()  # pc=3 -> dependent instruction
+        assert not warp.is_schedulable()
+        assert warp.blocking_load().token == 1
+
+    def test_completing_the_load_unblocks_the_warp(self):
+        program = [load(10, dep_distance=0), alu()]
+        warp = make_warp(program)
+        warp.record_load_issue(token=5, dep_distance=0, cycle=3)
+        warp.advance()
+        assert not warp.is_schedulable()
+        pending = warp.complete_load(5)
+        assert pending.issue_cycle == 3
+        assert warp.is_schedulable()
+
+    def test_completing_unknown_token_raises(self):
+        warp = make_warp([alu()])
+        with pytest.raises(KeyError):
+            warp.complete_load(99)
+
+    def test_warp_not_done_with_outstanding_loads(self):
+        program = [load(10, dep_distance=0)]
+        warp = make_warp(program)
+        warp.record_load_issue(token=1, dep_distance=0, cycle=0)
+        warp.advance()
+        assert warp.finished_issuing
+        assert not warp.done
+        warp.complete_load(1)
+        assert warp.done
+
+    def test_multiple_outstanding_loads_block_on_earliest_dependence(self):
+        program = [load(1, dep_distance=5), alu(), load(2, dep_distance=0), alu(), alu()]
+        warp = make_warp(program)
+        warp.record_load_issue(token=1, dep_distance=5, cycle=0)
+        warp.advance()
+        warp.advance()
+        warp.record_load_issue(token=2, dep_distance=0, cycle=2)
+        warp.advance()  # pc=3 -> depends on the second load (0 distance)
+        assert not warp.is_schedulable()
+        warp.complete_load(2)
+        assert warp.is_schedulable()
+
+    def test_reset_restores_initial_state(self):
+        program = [load(1, dep_distance=0), alu()]
+        warp = make_warp(program)
+        warp.record_load_issue(token=1, dep_distance=0, cycle=0)
+        warp.advance()
+        warp.reset()
+        assert warp.pc == 0
+        assert not warp.outstanding
+        assert warp.issued_instructions == 0

@@ -1,0 +1,61 @@
+"""End-to-end integration tests on the fast configuration.
+
+These exercise the full train → save → load → infer → schedule pipeline on
+the scaled-down configuration.  They are the slowest tests in the suite
+(tens of seconds in total); the session-scoped ``tiny_model`` fixture is
+shared between them.
+"""
+
+import pytest
+
+from repro.core.model_store import load_model, save_model
+from repro.experiments.common import run_scheme_on_benchmark, run_scheme_on_kernel
+from repro.workloads.registry import get_benchmark
+
+
+class TestTrainingPipeline:
+    def test_model_trained_on_training_split_only(self, tiny_model):
+        assert tiny_model.num_training_kernels >= 8
+        assert len(tiny_model.alpha_weights) == 8
+        assert len(tiny_model.beta_weights) == 8
+
+    def test_model_round_trips_through_store(self, tiny_model, tmp_path):
+        path = save_model(tiny_model, tmp_path / "model.json")
+        loaded = load_model(path)
+        assert loaded.alpha_weights == pytest.approx(tiny_model.alpha_weights)
+
+    def test_model_predicts_valid_tuples_for_unseen_kernels(self, tiny_model, fast_config):
+        pipeline = fast_config.training_pipeline()
+        for benchmark_name in ("ii", "bfs"):
+            spec = get_benchmark(benchmark_name).kernels[0]
+            features = pipeline.sample_features(spec)
+            n, p = tiny_model.predict(features, max_warps=spec.num_warps)
+            assert 1 <= p <= n <= spec.num_warps
+
+
+class TestSchemeExecution:
+    def test_poise_runs_and_reports_epochs(self, tiny_model, fast_config):
+        outcome = run_scheme_on_benchmark("poise", "ii", fast_config, model=tiny_model)
+        assert outcome.speedup > 0.5
+        assert outcome.telemetry  # per-kernel HIE telemetry present
+        for telemetry in outcome.telemetry.values():
+            assert telemetry["epochs"] >= 1
+
+    def test_poise_benign_on_compute_intensive_benchmark(self, tiny_model, fast_config):
+        outcome = run_scheme_on_benchmark("poise", "hotspot", fast_config, model=tiny_model)
+        assert outcome.speedup > 0.85
+
+    def test_static_best_never_far_below_baseline(self, fast_config):
+        outcome = run_scheme_on_benchmark("static_best", "mm", fast_config)
+        assert outcome.speedup >= 0.9
+
+    def test_run_cache_returns_identical_result(self, fast_config):
+        spec = get_benchmark("ii").kernels[0]
+        first = run_scheme_on_kernel("gto", spec, fast_config)
+        second = run_scheme_on_kernel("gto", spec, fast_config)
+        assert first is second  # cached
+
+    def test_warp_tuple_schemes_raise_l1_hit_rate_on_thrashing_benchmark(self, fast_config):
+        gto = run_scheme_on_benchmark("gto", "mm", fast_config)
+        swl = run_scheme_on_benchmark("swl", "mm", fast_config)
+        assert swl.l1_hit_rate >= gto.l1_hit_rate - 0.02

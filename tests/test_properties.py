@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analytical import AnalyticalModel, WarpTupleScenario
+from repro.core.regression import NegativeBinomialRegression, PoissonRegression
+from repro.core.scoring import score_grid, select_training_target
+from repro.core.training import TrainedModel
+from repro.core.features import FeatureVector
+from repro.gpu.cache import SetAssociativeCache
+from repro.gpu.config import CacheConfig
+from repro.gpu.mshr import MSHRFile
+from repro.profiling.metrics import arithmetic_mean, harmonic_mean
+
+# ---------------------------------------------------------------------------
+# Cache invariants
+# ---------------------------------------------------------------------------
+
+addresses = st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=300)
+warp_ids = st.integers(min_value=0, max_value=7)
+
+
+@given(addresses, st.sampled_from(["hash", "linear"]))
+@settings(max_examples=60, deadline=None)
+def test_cache_accounting_invariants(address_stream, indexing):
+    """Hits + misses == accesses; resident lines never exceed capacity."""
+    cache = SetAssociativeCache(
+        CacheConfig(size_bytes=8 * 128, assoc=2, line_size=128, mshr_entries=4, indexing=indexing)
+    )
+    for address in address_stream:
+        cache.access(address, warp_id=address % 3)
+    assert cache.hits + cache.misses == len(address_stream)
+    assert cache.resident_lines() <= cache.config.num_lines
+    assert 0.0 <= cache.hit_rate <= 1.0
+
+
+@given(addresses)
+@settings(max_examples=60, deadline=None)
+def test_cache_rereference_after_access_hits_when_capacity_allows(address_stream):
+    """An address accessed twice in a row always hits the second time."""
+    cache = SetAssociativeCache(
+        CacheConfig(size_bytes=16 * 128, assoc=4, line_size=128, mshr_entries=4)
+    )
+    for address in address_stream:
+        cache.access(address, warp_id=0)
+        assert cache.access(address, warp_id=0).hit
+
+
+@given(addresses)
+@settings(max_examples=40, deadline=None)
+def test_bypassing_never_changes_cache_contents(address_stream):
+    cache = SetAssociativeCache(
+        CacheConfig(size_bytes=8 * 128, assoc=2, line_size=128, mshr_entries=4)
+    )
+    for address in address_stream:
+        cache.access(address, warp_id=0, allocate=False)
+    assert cache.resident_lines() == 0
+
+
+# ---------------------------------------------------------------------------
+# MSHR invariants
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(st.tuples(st.integers(0, 20), st.integers(0, 7)), min_size=1, max_size=100),
+    st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_mshr_occupancy_never_exceeds_capacity(requests, capacity):
+    mshr = MSHRFile(capacity)
+    token = 0
+    for line, warp in requests:
+        status = mshr.allocate(line, warp, token)
+        token += 1
+        assert status in ("allocated", "merged", "full")
+        assert mshr.occupancy <= capacity
+    # Releasing every line empties the file.
+    for line, _ in requests:
+        mshr.release(line)
+    assert mshr.occupancy == 0
+
+
+# ---------------------------------------------------------------------------
+# Scoring invariants (Eq. 12)
+# ---------------------------------------------------------------------------
+
+speedup_grids = st.dictionaries(
+    st.tuples(st.integers(1, 8), st.integers(1, 8)).filter(lambda point: point[1] <= point[0]),
+    st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+    min_size=1,
+    max_size=36,
+)
+
+
+@given(speedup_grids)
+@settings(max_examples=80, deadline=None)
+def test_scores_bounded_by_grid_extremes(grid):
+    """A weighted average of neighbour speedups stays within [min, max]."""
+    scores = score_grid(grid)
+    low, high = min(grid.values()), max(grid.values())
+    for value in scores.values():
+        assert low - 1e-9 <= value <= high + 1e-9
+
+
+@given(speedup_grids)
+@settings(max_examples=80, deadline=None)
+def test_selected_target_is_a_profiled_point(grid):
+    target = select_training_target(grid)
+    assert target.point in grid
+    assert target.speedup == grid[target.point]
+
+
+@given(speedup_grids, st.floats(min_value=0.1, max_value=2.0))
+@settings(max_examples=40, deadline=None)
+def test_uniform_scaling_does_not_change_selected_target(grid, scale):
+    scaled = {point: value * scale for point, value in grid.items()}
+    assert select_training_target(grid).point == select_training_target(scaled).point
+
+
+# ---------------------------------------------------------------------------
+# Regression invariants
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=2, max_size=3),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=15, deadline=None)
+def test_poisson_regression_recovers_generating_weights(true_weights, seed):
+    rng = np.random.default_rng(seed)
+    weights = np.asarray(list(true_weights) + [1.0])
+    X = np.hstack([rng.uniform(0, 1, size=(300, len(true_weights))), np.ones((300, 1))])
+    y = rng.poisson(np.exp(X @ weights))
+    model = PoissonRegression()
+    model.fit(X.tolist(), y.tolist())
+    predictions = model.predict_mean(X.tolist())
+    assert np.all(np.isfinite(predictions))
+    assert np.all(predictions >= 0)
+    # The fit cannot be wildly off on its own training data.
+    assert np.mean(np.abs(predictions - y)) <= np.mean(y) * 2 + 5
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_negative_binomial_predictions_nonnegative(seed):
+    rng = np.random.default_rng(seed)
+    X = np.hstack([rng.uniform(0, 1, size=(200, 2)), np.ones((200, 1))])
+    y = rng.poisson(np.exp(X @ np.array([0.5, -0.5, 1.5])))
+    model = NegativeBinomialRegression()
+    model.fit(X.tolist(), y.tolist())
+    assert (model.predict(X.tolist()) >= 0).all()
+    assert model.alpha >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Trained-model prediction invariants
+# ---------------------------------------------------------------------------
+
+finite_floats = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False)
+
+
+@given(
+    st.lists(finite_floats, min_size=8, max_size=8),
+    st.lists(finite_floats, min_size=8, max_size=8),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=1, max_value=24),
+)
+@settings(max_examples=100, deadline=None)
+def test_model_predictions_always_form_valid_warp_tuples(alpha, beta, h_o, h_prime, max_warps):
+    model = TrainedModel(alpha_weights=alpha, beta_weights=beta, max_warps=24)
+    vector = FeatureVector(
+        h_o=h_o, h_prime=h_prime, eta_o=h_o / 2, eta_prime=h_prime,
+        instructions_per_load=3.0, latency_pressure=-100.0,
+    )
+    n, p = model.predict(vector, max_warps=max_warps)
+    assert 1 <= p <= n <= max_warps
+
+
+# ---------------------------------------------------------------------------
+# Analytical model invariants
+# ---------------------------------------------------------------------------
+
+@given(
+    st.integers(min_value=2, max_value=24),
+    st.integers(min_value=1, max_value=24),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=50.0, max_value=1000.0),
+    st.floats(min_value=50.0, max_value=1000.0),
+)
+@settings(max_examples=120, deadline=None)
+def test_stall_cycles_never_negative_and_mu_consistent(
+    n_warps, p_warps, miss_rate, hp, hnp, latency_base, latency_tuple
+):
+    p_warps = min(p_warps, n_warps)
+    scenario = WarpTupleScenario(
+        n_warps=n_warps,
+        p_warps=p_warps,
+        miss_rate_baseline=miss_rate,
+        latency_baseline=latency_base,
+        hit_rate_polluting=hp,
+        hit_rate_nonpolluting=hnp,
+        latency_tuple=latency_tuple,
+        independent_instructions=3.0,
+        pipeline_cycles=4.0,
+        mshr_entries=32,
+    )
+    model = AnalyticalModel(scenario)
+    assert model.t_stall_baseline() >= 0.0
+    assert model.t_stall_tuple() >= 0.0
+    assert not math.isnan(model.mu())
+    # The speedup criterion is internally consistent: fewer stalls than the
+    # baseline whenever Eq. 7 says so.
+    if model.predicts_speedup():
+        assert model.t_stall_tuple() < model.t_stall_baseline()
+
+
+# ---------------------------------------------------------------------------
+# Metric invariants
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.05, max_value=10.0), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_harmonic_mean_bounds(values):
+    hmean = harmonic_mean(values)
+    assert min(values) - 1e-9 <= hmean <= max(values) + 1e-9
+    assert hmean <= arithmetic_mean(values) + 1e-9

@@ -1,0 +1,226 @@
+"""Unit tests for the baseline warp-scheduling controllers."""
+
+import pytest
+
+from repro.gpu.gpu import GPU
+from repro.profiling.profiler import StaticProfile
+from repro.schedulers import (
+    APCMPolicy,
+    CCWSController,
+    FixedTupleController,
+    GTOController,
+    PCALController,
+    RandomRestartController,
+    StaticBestController,
+    SWLController,
+    derive_swl_limit,
+)
+from repro.schedulers.apcm import APCMParameters
+from repro.schedulers.ccws import CCWSParameters
+from repro.schedulers.pcal import PCALParameters
+from repro.schedulers.random_restart import RandomRestartParameters
+from repro.workloads.generator import generate_kernel_programs
+from repro.workloads.spec import KernelSpec
+from tests.conftest import make_looping_program, make_streaming_program
+
+
+def make_profile(grid, kernel=None, max_warps=8, baseline_ipc=1.0):
+    profile = StaticProfile(
+        kernel=kernel or KernelSpec(name="profiled"), max_warps=max_warps, baseline_ipc=baseline_ipc
+    )
+    profile.ipc.update(grid)
+    return profile
+
+
+@pytest.fixture
+def memory_kernel_programs():
+    spec = KernelSpec(
+        name="sched_kernel", num_warps=12, instructions_per_warp=4000,
+        instructions_per_load=3, dep_distance=5, intra_warp_fraction=0.85,
+        inter_warp_fraction=0.08, private_lines=50, shared_lines=120, seed=21,
+    )
+    return generate_kernel_programs(spec)
+
+
+class TestControllerBasics:
+    def test_clamp_tuple(self):
+        assert FixedTupleController.clamp_tuple(40, 40, 24) == (24, 24)
+        assert FixedTupleController.clamp_tuple(0, 0, 24) == (1, 1)
+        assert FixedTupleController.clamp_tuple(5, 9, 24) == (5, 5)
+
+    def test_gto_runs_at_maximum_warps(self, small_gpu_config):
+        result = GPU(small_gpu_config).run_kernel(
+            [make_streaming_program(20)] * small_gpu_config.max_warps,
+            controller=GTOController(),
+        )
+        assert result.warp_tuple == (small_gpu_config.max_warps, small_gpu_config.max_warps)
+
+    def test_fixed_tuple_controller(self, small_gpu_config):
+        result = GPU(small_gpu_config).run_kernel(
+            [make_streaming_program(20)] * 4, controller=FixedTupleController(3, 1)
+        )
+        assert result.warp_tuple == (3, 1)
+
+
+class TestSWL:
+    def test_limit_derived_from_diagonal_best(self):
+        grid = {(8, 8): 1.0, (4, 4): 1.3, (2, 2): 1.1, (6, 1): 1.5}
+        assert derive_swl_limit(make_profile(grid)) == 4
+
+    def test_limit_falls_back_to_baseline_when_diagonal_flat(self):
+        grid = {(8, 8): 1.0, (4, 4): 1.001, (2, 2): 0.99}
+        assert derive_swl_limit(make_profile(grid)) == 8
+
+    def test_requires_limit_or_profile(self):
+        with pytest.raises(ValueError):
+            SWLController()
+
+    def test_runs_on_the_diagonal(self, small_gpu_config):
+        result = GPU(small_gpu_config).run_kernel(
+            [make_streaming_program(20)] * 4, controller=SWLController(limit=2)
+        )
+        assert result.warp_tuple == (2, 2)
+        assert result.telemetry["swl_limit"] == 2
+
+
+class TestStaticBest:
+    def test_uses_profile_best_point(self, small_gpu_config):
+        grid = {(4, 4): 1.0, (3, 1): 1.4, (2, 2): 1.2}
+        controller = StaticBestController(profile=make_profile(grid, max_warps=4))
+        result = GPU(small_gpu_config).run_kernel(
+            [make_streaming_program(20)] * 4, controller=controller
+        )
+        assert result.warp_tuple == (3, 1)
+
+    def test_requires_tuple_or_profile(self):
+        with pytest.raises(ValueError):
+            StaticBestController()
+
+
+class TestPCAL:
+    def test_requires_start_point(self):
+        with pytest.raises(ValueError):
+            PCALController()
+
+    def test_search_converges_to_valid_tuple(self, baseline_gpu_config, memory_kernel_programs):
+        controller = PCALController(
+            swl_limit=6,
+            params=PCALParameters(warmup_cycles=200, sample_cycles=600, max_hill_steps=3),
+        )
+        result = GPU(baseline_gpu_config).run_kernel(
+            memory_kernel_programs, controller=controller, max_cycles=25_000
+        )
+        n, p = result.telemetry["warp_tuple"]
+        assert 1 <= p <= n <= 12
+        assert result.telemetry["swl_limit"] == 6
+        assert len(result.telemetry["visited"]) >= 1
+
+    def test_visited_points_stay_in_bounds(self, baseline_gpu_config, memory_kernel_programs):
+        controller = PCALController(
+            swl_limit=4,
+            params=PCALParameters(warmup_cycles=100, sample_cycles=300, max_hill_steps=2),
+        )
+        result = GPU(baseline_gpu_config).run_kernel(
+            memory_kernel_programs, controller=controller, max_cycles=15_000
+        )
+        for n, p in result.telemetry["visited"]:
+            assert 1 <= p <= n <= 12
+
+
+class TestCCWS:
+    def test_throttles_on_thrashing_workload(self, baseline_gpu_config):
+        # Disjoint per-warp footprints much larger than the L1 thrash badly.
+        programs = [
+            make_looping_program(3000, footprint=60, base=warp * 1_000_000, dep=4)
+            for warp in range(12)
+        ]
+        controller = CCWSController(CCWSParameters(epoch_cycles=2_000))
+        result = GPU(baseline_gpu_config).run_kernel(
+            programs, controller=controller, max_cycles=30_000
+        )
+        final_n, final_p = result.telemetry["warp_tuple"]
+        assert final_n == final_p  # CCWS couples scheduling and allocation
+        assert final_n < 12
+
+    def test_does_not_throttle_cache_friendly_workload(self, baseline_gpu_config):
+        programs = [
+            make_looping_program(3000, footprint=2, base=warp * 10, dep=2) for warp in range(8)
+        ]
+        controller = CCWSController(CCWSParameters(epoch_cycles=2_000))
+        result = GPU(baseline_gpu_config).run_kernel(
+            programs, controller=controller, max_cycles=20_000
+        )
+        final_n, _ = result.telemetry["warp_tuple"]
+        assert final_n == 8
+
+
+class TestRandomRestart:
+    def test_is_deterministic_for_a_seed(self, baseline_gpu_config, memory_kernel_programs):
+        params = RandomRestartParameters(
+            epoch_cycles=8_000, warmup_cycles=200, sample_cycles=500, seed=5
+        )
+        results = []
+        for _ in range(2):
+            result = GPU(baseline_gpu_config).run_kernel(
+                memory_kernel_programs, controller=RandomRestartController(params),
+                max_cycles=20_000,
+            )
+            results.append(tuple(result.telemetry["chosen_tuples"]))
+        assert results[0] == results[1]
+
+    def test_chosen_tuples_in_bounds(self, baseline_gpu_config, memory_kernel_programs):
+        result = GPU(baseline_gpu_config).run_kernel(
+            memory_kernel_programs,
+            controller=RandomRestartController(
+                RandomRestartParameters(epoch_cycles=6_000, warmup_cycles=100, sample_cycles=300)
+            ),
+            max_cycles=18_000,
+        )
+        for n, p in result.telemetry["chosen_tuples"]:
+            assert 1 <= p <= n <= 12
+
+
+class TestAPCM:
+    def test_streaming_pc_gets_bypassed_after_learning(self):
+        policy = APCMPolicy(APCMParameters(learning_accesses=8, bypass_hit_rate=0.1))
+        from repro.gpu.isa import load
+
+        streaming_load = load(1, pc=7)
+        for _ in range(8):
+            policy.observe_access(streaming_load, warp_id=0, hit=False)
+        assert not policy.allow_allocate(streaming_load, warp_id=0)
+        assert 7 in policy.bypassed_pcs()
+
+    def test_high_locality_pc_keeps_allocating(self):
+        policy = APCMPolicy(APCMParameters(learning_accesses=8, bypass_hit_rate=0.1))
+        from repro.gpu.isa import load
+
+        hot_load = load(2, pc=9)
+        for index in range(10):
+            policy.observe_access(hot_load, warp_id=0, hit=index > 0)
+        assert policy.allow_allocate(hot_load, warp_id=0)
+        assert 9 not in policy.bypassed_pcs()
+
+    def test_policy_defaults_to_allocate_while_learning(self):
+        policy = APCMPolicy()
+        from repro.gpu.isa import load
+
+        assert policy.allow_allocate(load(3, pc=1), warp_id=0)
+
+    def test_apcm_reduces_pollution_from_streaming_warps(self, baseline_gpu_config):
+        # One warp loops over a small footprint, others stream from a single
+        # static load site each.  APCM should learn to bypass the streaming
+        # PCs, protecting the hot warp's lines.
+        from repro.gpu.isa import load
+
+        hot = make_looping_program(2000, footprint=16, base=0, dep=3)
+        streams = [
+            [load((warp + 1) * 1_000_000 + index, dep_distance=3, pc=500 + warp) for index in range(2000)]
+            for warp in range(8)
+        ]
+        policy = APCMPolicy(APCMParameters(learning_accesses=32, bypass_hit_rate=0.05))
+        gpu = GPU(baseline_gpu_config)
+        with_apcm = gpu.run_kernel([hot] + streams, cache_policy=policy, max_cycles=25_000)
+        without = gpu.run_kernel([hot] + streams, max_cycles=25_000)
+        assert with_apcm.counters.l1_bypasses > 0
+        assert with_apcm.l1_hit_rate >= without.l1_hit_rate - 0.02

@@ -1,0 +1,160 @@
+"""Unit tests for workload specs, the trace generator and the registry."""
+
+import pytest
+
+from repro.gpu.isa import Opcode
+from repro.workloads.generator import generate_kernel_programs, generate_warp_program
+from repro.workloads.registry import (
+    EVALUATION_ORDER,
+    TRAINING_ORDER,
+    all_benchmarks,
+    compute_intensive_benchmarks,
+    evaluation_benchmarks,
+    get_benchmark,
+    training_benchmarks,
+)
+from repro.workloads.spec import BenchmarkSpec, KernelSpec
+
+
+class TestKernelSpec:
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            KernelSpec(name="bad", intra_warp_fraction=1.5)
+        with pytest.raises(ValueError):
+            KernelSpec(name="bad", intra_warp_fraction=0.7, inter_warp_fraction=0.5)
+
+    def test_positive_size_validation(self):
+        with pytest.raises(ValueError):
+            KernelSpec(name="bad", private_lines=0)
+        with pytest.raises(ValueError):
+            KernelSpec(name="bad", num_warps=0)
+        with pytest.raises(ValueError):
+            KernelSpec(name="bad", instructions_per_load=0)
+
+    def test_streaming_fraction_is_complement(self):
+        spec = KernelSpec(name="k", intra_warp_fraction=0.6, inter_warp_fraction=0.3)
+        assert spec.streaming_fraction == pytest.approx(0.1)
+
+    def test_variant_overrides_and_renames(self):
+        base = KernelSpec(name="base", private_lines=100)
+        variant = base.variant("v1", private_lines=50)
+        assert variant.name == "base_v1"
+        assert variant.private_lines == 50
+        assert base.private_lines == 100
+
+
+class TestBenchmarkSpec:
+    def test_requires_kernels(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(name="b", suite="s", kernels=[])
+
+    def test_rejects_unknown_role(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(name="b", suite="s", kernels=[KernelSpec(name="k")], role="other")
+
+    def test_kernel_lookup(self):
+        benchmark = BenchmarkSpec(name="b", suite="s", kernels=[KernelSpec(name="k0")])
+        assert benchmark.kernel("k0").name == "k0"
+        assert benchmark.kernel("missing") is None
+
+
+class TestGenerator:
+    def test_program_length_matches_spec(self):
+        spec = KernelSpec(name="k", instructions_per_warp=500)
+        program = generate_warp_program(spec, warp_id=0)
+        assert len(program) == 500
+
+    def test_load_density_matches_instructions_per_load(self):
+        spec = KernelSpec(name="k", instructions_per_warp=3000, instructions_per_load=3)
+        program = generate_warp_program(spec, warp_id=0)
+        loads = sum(1 for instruction in program if instruction.is_load)
+        assert loads == pytest.approx(1000, rel=0.05)
+
+    def test_generation_is_deterministic(self):
+        spec = KernelSpec(name="k", seed=7)
+        assert generate_warp_program(spec, 3) == generate_warp_program(spec, 3)
+
+    def test_different_warps_use_disjoint_private_regions(self):
+        spec = KernelSpec(
+            name="k", intra_warp_fraction=1.0, inter_warp_fraction=0.0, private_lines=16
+        )
+        addresses_0 = {i.line_addr for i in generate_warp_program(spec, 0) if i.is_load}
+        addresses_1 = {i.line_addr for i in generate_warp_program(spec, 1) if i.is_load}
+        assert addresses_0.isdisjoint(addresses_1)
+
+    def test_shared_region_is_common_across_warps(self):
+        spec = KernelSpec(
+            name="k", intra_warp_fraction=0.0, inter_warp_fraction=1.0, shared_lines=32
+        )
+        addresses_0 = {i.line_addr for i in generate_warp_program(spec, 0) if i.is_load}
+        addresses_1 = {i.line_addr for i in generate_warp_program(spec, 1) if i.is_load}
+        assert addresses_0 & addresses_1
+
+    def test_private_footprint_bounded_by_spec(self):
+        spec = KernelSpec(
+            name="k", intra_warp_fraction=1.0, inter_warp_fraction=0.0,
+            private_lines=24, instructions_per_warp=2000,
+        )
+        addresses = {i.line_addr for i in generate_warp_program(spec, 0) if i.is_load}
+        assert len(addresses) <= 24
+
+    def test_streaming_addresses_never_repeat(self):
+        spec = KernelSpec(
+            name="k", intra_warp_fraction=0.0, inter_warp_fraction=0.0,
+            instructions_per_warp=1500, instructions_per_load=3,
+        )
+        loads = [i.line_addr for i in generate_warp_program(spec, 0) if i.is_load]
+        assert len(loads) == len(set(loads))
+
+    def test_dep_distance_capped_below_group_size(self):
+        spec = KernelSpec(name="k", instructions_per_load=3, dep_distance=50)
+        program = generate_warp_program(spec, 0)
+        for instruction in program:
+            if instruction.is_load:
+                assert instruction.dep_distance <= 2
+
+    def test_generate_kernel_programs_one_per_warp(self):
+        spec = KernelSpec(name="k", num_warps=6, instructions_per_warp=100)
+        programs = generate_kernel_programs(spec)
+        assert len(programs) == 6
+        assert all(p[0].opcode in (Opcode.ALU, Opcode.LOAD) for p in programs)
+
+
+class TestRegistry:
+    def test_training_and_evaluation_are_disjoint(self):
+        training = {benchmark.name for benchmark in training_benchmarks()}
+        evaluation = {benchmark.name for benchmark in evaluation_benchmarks()}
+        assert training.isdisjoint(evaluation)
+        assert training == set(TRAINING_ORDER)
+        assert evaluation == set(EVALUATION_ORDER)
+
+    def test_paper_evaluation_set_is_complete(self):
+        assert EVALUATION_ORDER == [
+            "syr2k", "syrk", "mm", "ii", "gsmv", "mvt", "bicg", "ss", "atax", "bfs", "kmeans",
+        ]
+
+    def test_compute_intensive_benchmarks_have_few_loads(self):
+        for benchmark in compute_intensive_benchmarks():
+            for kernel in benchmark.kernels:
+                assert kernel.instructions_per_load >= 50
+
+    def test_training_benchmarks_have_many_kernels(self):
+        for benchmark in training_benchmarks():
+            assert benchmark.num_kernels >= 10
+
+    def test_get_benchmark_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_benchmark("definitely_not_a_benchmark")
+
+    def test_all_benchmark_kernel_names_are_unique(self):
+        names = [
+            kernel.name
+            for benchmark in all_benchmarks().values()
+            for kernel in benchmark.kernels
+        ]
+        assert len(names) == len(set(names))
+
+    def test_kernels_fit_the_scheduler(self):
+        for benchmark in all_benchmarks().values():
+            for kernel in benchmark.kernels:
+                assert 1 <= kernel.num_warps <= 24
