@@ -1,0 +1,73 @@
+"""Bench: simulator hot-loop throughput and sweep wall-clock.
+
+Unlike the figure benchmarks, this module tracks the *speed* of the
+reproduction itself: simulated cycles per wall-clock second on a
+memory-divergent and a compute-intensive kernel, and the wall-clock of the
+fast-profile warp-tuple sweep cold (every point simulated — the seed's
+serial path) versus warm (served from the persistent result cache).
+
+Acceptance: the cached sweep must be at least 3× faster than the cold
+serial sweep, and a parallel sweep must reproduce the serial grid
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.bench import (
+    compute_intensive_kernel,
+    measure_sweep,
+    measure_throughput,
+    memory_divergent_kernel,
+)
+
+#: Sanity floor for the hot loop, far below what any machine measures (the
+#: reference box clears ~1M cycles/s); it exists to catch a pathological
+#: slowdown, not to benchmark the host.
+MIN_CYCLES_PER_SECOND = 100_000.0
+
+
+def test_memory_divergent_throughput(benchmark):
+    result = benchmark.pedantic(
+        measure_throughput, args=(memory_divergent_kernel(),), rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"memory-divergent: {result['cycles_per_second']:,.0f} cycles/s "
+        f"({result['cycles']:,} cycles in {result['wall_seconds']:.3f}s)"
+    )
+    assert result["cycles"] > 0
+    assert result["cycles_per_second"] > MIN_CYCLES_PER_SECOND
+
+
+def test_compute_intensive_throughput(benchmark):
+    result = benchmark.pedantic(
+        measure_throughput, args=(compute_intensive_kernel(),), rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"compute-intensive: {result['cycles_per_second']:,.0f} cycles/s "
+        f"({result['cycles']:,} cycles in {result['wall_seconds']:.3f}s)"
+    )
+    assert result["cycles"] > 0
+    assert result["cycles_per_second"] > MIN_CYCLES_PER_SECOND
+
+
+def test_fast_profile_sweep_speedup(benchmark, tmp_path):
+    """Cold vs warm fast-profile sweep: the persistent cache must buy ≥3×."""
+    result = benchmark.pedantic(
+        measure_sweep, args=(tmp_path,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"sweep over {result['points']} grid points: "
+        f"cold {result['cold_seconds']:.2f}s, warm {result['warm_seconds']:.3f}s "
+        f"({result['warm_speedup']:.0f}x), "
+        f"parallel({result['parallel_jobs']}) {result['parallel_seconds']:.2f}s"
+    )
+    assert result["parallel_matches_serial"], (
+        "parallel sweep must produce counters identical to the serial path"
+    )
+    assert result["warm_speedup"] >= 3.0, (
+        f"cached sweep only {result['warm_speedup']:.1f}x faster than the "
+        f"cold serial path (need >= 3x)"
+    )

@@ -16,6 +16,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -24,6 +25,21 @@ from repro.core.model_store import save_model
 from repro.core.training import prediction_errors
 from repro.experiments.common import ExperimentConfig, PRETRAINED_MODEL_PATH
 from repro.workloads.registry import training_benchmarks
+
+
+def _jobs_value(raw: str) -> str:
+    """Accept a non-negative integer or 'auto' (rejects typos loudly)."""
+    value = raw.strip().lower()
+    if value == "auto":
+        return value
+    try:
+        if int(value) < 0:
+            raise ValueError
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be a non-negative integer or 'auto', got {raw!r}"
+        )
+    return value
 
 
 def main(argv=None) -> int:
@@ -37,7 +53,17 @@ def main(argv=None) -> int:
         default=PRETRAINED_MODEL_PATH,
         help="where to write the trained model JSON",
     )
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_value,
+        default=None,
+        metavar="N",
+        help="profile training kernels over N worker processes "
+        "(0 or 'auto' = one per CPU core; overrides REPRO_JOBS)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = args.jobs
 
     config = ExperimentConfig.fast() if args.fast else ExperimentConfig.full()
     pipeline = config.training_pipeline()

@@ -34,6 +34,7 @@ from repro.core.scoring import DEFAULT_WEIGHTS, select_training_target
 from repro.gpu.config import GPUConfig, baseline_config
 from repro.gpu.gpu import GPU
 from repro.profiling.profiler import KernelProfiler, StaticProfile
+from repro.runtime.executor import SweepExecutor
 from repro.workloads.generator import generate_kernel_programs
 from repro.workloads.spec import BenchmarkSpec, KernelSpec
 
@@ -123,6 +124,7 @@ class TrainingPipeline:
         thresholds: Optional[TrainingThresholds] = None,
         scoring_weights: Sequence[float] = DEFAULT_WEIGHTS,
         feature_mask: Optional[Sequence[int]] = None,
+        executor: Optional[SweepExecutor] = None,
     ) -> None:
         self.config = config or baseline_config()
         self.profiler = profiler or KernelProfiler(self.config)
@@ -130,6 +132,7 @@ class TrainingPipeline:
         self.thresholds = thresholds or TrainingThresholds()
         self.scoring_weights = tuple(scoring_weights)
         self.feature_mask = list(feature_mask) if feature_mask else None
+        self.executor = executor
 
     # -- per-kernel work ------------------------------------------------------------
 
@@ -164,11 +167,23 @@ class TrainingPipeline:
         )
 
     def collect_examples(self, benchmarks: Sequence[BenchmarkSpec]) -> List[TrainingExample]:
-        examples: List[TrainingExample] = []
-        for benchmark in benchmarks:
-            for spec in benchmark.kernels:
-                examples.append(self.build_example(benchmark, spec))
-        return examples
+        """Build one training example per kernel of every benchmark.
+
+        Each example needs a full warp-tuple-grid profile plus a feature
+        sample — independent simulations, so the kernels fan out over the
+        sweep executor when ``REPRO_JOBS`` allows.  Results come back in
+        submission order, keeping the example list (and therefore the fitted
+        model) identical to a serial pass.
+        """
+        tasks = [
+            (benchmark, spec) for benchmark in benchmarks for spec in benchmark.kernels
+        ]
+        executor = self.executor or SweepExecutor()
+        if executor.parallel and len(tasks) > 1:
+            return executor.map(
+                _build_example_job, [(self, benchmark, spec) for benchmark, spec in tasks]
+            )
+        return [self.build_example(benchmark, spec) for benchmark, spec in tasks]
 
     # -- fitting ---------------------------------------------------------------------
 
@@ -218,6 +233,13 @@ class TrainingPipeline:
         examples = self.collect_examples(benchmarks)
         model = self.fit(examples)
         return model, examples
+
+
+def _build_example_job(
+    pipeline: "TrainingPipeline", benchmark: BenchmarkSpec, spec: KernelSpec
+) -> TrainingExample:
+    """Module-level sweep worker for one training example (must pickle)."""
+    return pipeline.build_example(benchmark, spec)
 
 
 def prediction_errors(

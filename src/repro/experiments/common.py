@@ -10,8 +10,9 @@ harness and reproduces the paper-shaped results.
 
 from __future__ import annotations
 
+import hashlib
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -24,6 +25,10 @@ from repro.gpu.config import GPUConfig, baseline_config
 from repro.gpu.gpu import GPU, RunResult
 from repro.profiling.metrics import harmonic_mean
 from repro.profiling.profiler import KernelProfiler, StaticProfile
+from repro.runtime import serialization
+from repro.runtime.cache import DiskCache
+from repro.runtime.executor import SweepExecutor
+from repro.version import __version__
 from repro.schedulers import (
     APCMPolicy,
     CCWSController,
@@ -121,12 +126,23 @@ class ExperimentConfig:
 
     @property
     def cache_key(self) -> str:
-        """A short string identifying results produced under this config."""
+        """A short string identifying results produced under this config.
+
+        Every run-affecting knob is folded in: two configs that differ only
+        in ``run_max_cycles``, ``kernels_per_benchmark``, the feature-sampling
+        window or the Poise parameters must not share cached ``RunResult``s.
+        The Poise parameters are summarised by a content digest to keep the
+        key readable.
+        """
         l1 = self.gpu.l1
+        run_knobs = repr((self.poise_params, self.feature_warmup, self.feature_cycles))
+        poise_digest = hashlib.sha256(run_knobs.encode("utf-8")).hexdigest()[:8]
         return (
             f"{self.label}-l1{l1.size_bytes // 1024}k-{l1.indexing}"
             f"-pc{self.profile_cycles}-pw{self.profile_warmup}"
             f"-ns{self.profile_n_step}-ps{self.profile_p_step}"
+            f"-rc{self.run_max_cycles}-kb{self.kernels_per_benchmark}"
+            f"-pp{poise_digest}"
         )
 
     # -- helpers -------------------------------------------------------------------
@@ -178,27 +194,119 @@ class ExperimentConfig:
 
 
 # ---------------------------------------------------------------------------
-# Caches (per process)
+# Caches (per process memory + content-addressed disk)
 # ---------------------------------------------------------------------------
 
 _PROFILE_CACHE: Dict[Tuple[str, str], StaticProfile] = {}
-_RUN_CACHE: Dict[Tuple[str, str, str], RunResult] = {}
+_RUN_CACHE: Dict[Tuple[str, str, str, Optional[str]], RunResult] = {}
 _MODEL_CACHE: Dict[str, TrainedModel] = {}
 
 
-def clear_caches() -> None:
-    """Drop all per-process experiment caches (used by tests)."""
+def _run_cache_key(
+    scheme: str,
+    spec: KernelSpec,
+    config: ExperimentConfig,
+    model: Optional[TrainedModel],
+) -> Tuple[str, str, str, Optional[str]]:
+    """In-memory run-cache key.
+
+    Model-driven schemes fold in a digest of the weights: evaluating the
+    same kernel under two different models in one process must not share a
+    cache slot (the disk layer already keys on the model; the memory layer
+    has to agree).
+    """
+    model_tag = None
+    if scheme.lower().startswith("poise") and model is not None:
+        digest = repr(serialization.model_digest(model))
+        model_tag = hashlib.sha256(digest.encode("utf-8")).hexdigest()[:12]
+    return (scheme, spec.name, config.cache_key, model_tag)
+
+
+def clear_caches(config: Optional[ExperimentConfig] = None) -> None:
+    """Drop all per-process experiment caches (used by tests).
+
+    When ``config`` is given its on-disk result cache is cleared as well.
+    """
     _PROFILE_CACHE.clear()
     _RUN_CACHE.clear()
     _MODEL_CACHE.clear()
+    if config is not None:
+        DiskCache(config.cache_dir).clear()
+
+
+def disk_cache(config: ExperimentConfig) -> Optional[DiskCache]:
+    """The on-disk result cache for ``config`` (``None`` when disabled).
+
+    Set ``REPRO_DISK_CACHE=0`` to disable persistent result caching; the
+    cache lives under ``config.cache_dir`` (``REPRO_CACHE_DIR``) in
+    ``runs/<sha256>.json`` entries.
+    """
+    flag = os.environ.get("REPRO_DISK_CACHE", "1").strip().lower()
+    if flag in ("0", "off", "false", "no"):
+        return None
+    return DiskCache(config.cache_dir)
+
+
+def _profile_key_payload(spec: KernelSpec, config: ExperimentConfig) -> dict:
+    return serialization.profile_key_payload(
+        spec,
+        config.gpu,
+        config.profile_cycles,
+        config.profile_warmup,
+        config.profile_n_step,
+        config.profile_p_step,
+    )
+
+
+def _run_key_payload(
+    scheme: str,
+    spec: KernelSpec,
+    config: ExperimentConfig,
+    model: Optional[TrainedModel],
+) -> dict:
+    """Everything that determines a scheme run's ``RunResult``."""
+    scheme = scheme.lower()
+    return {
+        "kind": "run",
+        "version": __version__,
+        "code": serialization.code_fingerprint(),
+        "scheme": scheme,
+        "spec": serialization.spec_payload(spec),
+        "gpu": serialization.gpu_payload(config.gpu),
+        "run_max_cycles": config.run_max_cycles,
+        "profile_knobs": [
+            config.profile_cycles,
+            config.profile_warmup,
+            config.profile_n_step,
+            config.profile_p_step,
+        ],
+        "poise_params": serialization.encode_value(asdict(config.poise_params)),
+        "feature_window": [config.feature_warmup, config.feature_cycles],
+        "model": serialization.model_digest(model if scheme.startswith("poise") else None),
+    }
 
 
 def get_profile(spec: KernelSpec, config: ExperimentConfig) -> StaticProfile:
-    """Profile a kernel over the warp-tuple grid, with caching."""
+    """Profile a kernel over the warp-tuple grid, with memory + disk caching."""
     key = (spec.name, config.cache_key)
-    if key not in _PROFILE_CACHE:
-        _PROFILE_CACHE[key] = config.profiler().profile(spec)
-    return _PROFILE_CACHE[key]
+    profile = _PROFILE_CACHE.get(key)
+    if profile is not None:
+        return profile
+    disk = disk_cache(config)
+    payload = _profile_key_payload(spec, config)
+    if disk is not None:
+        cached = disk.load(payload)
+        if cached is not None:
+            try:
+                profile = serialization.profile_from_dict(cached)
+            except (KeyError, TypeError, ValueError):
+                profile = None  # malformed entry: fall through and recompute
+    if profile is None:
+        profile = config.profiler().profile(spec)
+        if disk is not None:
+            disk.store(payload, serialization.profile_to_dict(profile))
+    _PROFILE_CACHE[key] = profile
+    return profile
 
 
 # ---------------------------------------------------------------------------
@@ -298,10 +406,27 @@ def run_scheme_on_kernel(
     model: Optional[TrainedModel] = None,
     use_cache: bool = True,
 ) -> RunResult:
-    """Run one kernel to completion (or the cycle budget) under a scheme."""
-    key = (scheme, spec.name, config.cache_key)
+    """Run one kernel to completion (or the cycle budget) under a scheme.
+
+    Results are cached in memory per process and, content-addressed, on
+    disk — so a sweep worker's runs survive into the parent process and
+    across invocations the way trained models already do.
+    """
+    key = _run_cache_key(scheme, spec, config, model)
     if use_cache and key in _RUN_CACHE:
         return _RUN_CACHE[key]
+    disk = disk_cache(config) if use_cache else None
+    payload = _run_key_payload(scheme, spec, config, model) if disk is not None else None
+    if disk is not None:
+        cached = disk.load(payload)
+        if cached is not None:
+            try:
+                result = serialization.run_result_from_dict(cached)
+            except (KeyError, TypeError, ValueError):
+                result = None  # malformed entry: fall through and recompute
+            if result is not None:
+                _RUN_CACHE[key] = result
+                return result
     controller, cache_policy = _build_controller(scheme, spec, config, model)
     gpu = GPU(config.gpu)
     programs = generate_kernel_programs(spec)
@@ -313,7 +438,67 @@ def run_scheme_on_kernel(
     )
     if use_cache:
         _RUN_CACHE[key] = result
+        if disk is not None:
+            disk.store(payload, serialization.run_result_to_dict(result))
     return result
+
+
+def _run_scheme_job(
+    scheme: str,
+    spec: KernelSpec,
+    config: ExperimentConfig,
+    model: Optional[TrainedModel],
+) -> RunResult:
+    """Module-level sweep worker for one (scheme, kernel) run."""
+    return run_scheme_on_kernel(scheme, spec, config, model=model, use_cache=True)
+
+
+#: Schemes whose controller consumes a static profile of the kernel.
+_PROFILE_BASED_SCHEMES = frozenset({"swl", "pcal", "static_best"})
+
+
+def prefetch_runs(
+    pairs: Sequence[Tuple[str, KernelSpec]],
+    config: ExperimentConfig,
+    model: Optional[TrainedModel] = None,
+) -> None:
+    """Fan missing (scheme, kernel) runs out over the sweep executor.
+
+    After this returns, every pair is resident in the in-process run cache,
+    so the serial aggregation code that follows only sees cache hits.  With
+    ``REPRO_JOBS=1`` (the default) this is a no-op and the runs are computed
+    lazily exactly as before — the counters are identical either way.
+    """
+    executor = SweepExecutor()
+    seen: set = set()
+    todo: List[Tuple[str, KernelSpec]] = []
+    for scheme, spec in pairs:
+        key = _run_cache_key(scheme, spec, config, model)
+        if key in seen or key in _RUN_CACHE:
+            continue
+        seen.add(key)
+        todo.append((scheme, spec))
+    if not executor.parallel or len(todo) <= 1:
+        return
+    # Static profiles feed several controllers; compute them up front in this
+    # process (their grid points fan out on the same executor) so the run
+    # workers find them in the disk cache instead of each re-sweeping.  With
+    # the disk cache disabled there is no channel to hand a profile to a
+    # worker, so profile-based runs stay in this process (serial, but each
+    # profile is swept exactly once) and only the rest fan out.
+    profiles_shareable = disk_cache(config) is not None
+    fan_out: List[Tuple[str, KernelSpec]] = []
+    for scheme, spec in todo:
+        if scheme.lower() in _PROFILE_BASED_SCHEMES:
+            if not profiles_shareable:
+                continue  # computed lazily in-process by the aggregation pass
+            get_profile(spec, config)
+        fan_out.append((scheme, spec))
+    results = executor.map(
+        _run_scheme_job, [(scheme, spec, config, model) for scheme, spec in fan_out]
+    )
+    for (scheme, spec), result in zip(fan_out, results):
+        _RUN_CACHE[_run_cache_key(scheme, spec, config, model)] = result
 
 
 @dataclass
@@ -347,6 +532,10 @@ def run_scheme_on_benchmark(
     """
     benchmark = get_benchmark(benchmark_name)
     kernels = config.limited_kernels(benchmark)
+    pairs: List[Tuple[str, KernelSpec]] = [("gto", spec) for spec in kernels]
+    if scheme != "gto":
+        pairs.extend((scheme, spec) for spec in kernels)
+    prefetch_runs(pairs, config, model=model)
     speedups: List[float] = []
     hit_rates: List[float] = []
     amls: List[float] = []
@@ -410,6 +599,18 @@ def evaluate_schemes(
     needs_model = any(s.startswith("poise") for s in schemes)
     if model is None and needs_model:
         model = train_or_load_model(config)
+    # Fan the full (scheme, kernel) cross product out in one sweep so the
+    # executor sees maximum parallelism; the per-benchmark aggregation below
+    # then runs entirely against the warm run cache.
+    suite_kernels = {name: config.limited_kernels(get_benchmark(name)) for name in benchmarks}
+    pairs: List[Tuple[str, KernelSpec]] = [
+        ("gto", spec) for name in benchmarks for spec in suite_kernels[name]
+    ]
+    for scheme in schemes:
+        if scheme == "gto":
+            continue
+        pairs.extend((scheme, spec) for name in benchmarks for spec in suite_kernels[name])
+    prefetch_runs(pairs, config, model=model)
     results: Dict[str, Dict[str, BenchmarkOutcome]] = {}
     for scheme in schemes:
         results[scheme] = {}

@@ -55,6 +55,11 @@ class SetAssociativeCache:
         self.misses = 0
         self.bypasses = 0
         self.evictions = 0
+        self._hash_indexing = config.indexing == "hash"
+        # The XOR-fold is a pure function of (line_addr, num_sets); kernels
+        # revisit a small working set of lines millions of times, so the
+        # per-access fold loop is replaced by a memo lookup.
+        self._index_memo: dict = {}
 
     # -- indexing -----------------------------------------------------------------
 
@@ -65,14 +70,18 @@ class SetAssociativeCache:
         higher address bits into the index, emulating the hashed set-index
         function of the paper's baseline L1.
         """
-        if self.config.indexing == "linear":
+        if not self._hash_indexing:
             return line_addr % self.num_sets
-        folded = line_addr
-        index = 0
-        while folded:
-            index ^= folded % self.num_sets
-            folded //= self.num_sets
-        return index % self.num_sets
+        index = self._index_memo.get(line_addr)
+        if index is None:
+            folded = line_addr
+            index = 0
+            while folded:
+                index ^= folded % self.num_sets
+                folded //= self.num_sets
+            index %= self.num_sets
+            self._index_memo[line_addr] = index
+        return index
 
     def _tag(self, line_addr: int) -> int:
         return line_addr
@@ -87,26 +96,41 @@ class SetAssociativeCache:
                 return True
         return False
 
-    def access(self, line_addr: int, warp_id: int, allocate: bool = True) -> CacheAccessResult:
+    def access(
+        self,
+        line_addr: int,
+        warp_id: int,
+        allocate: bool = True,
+        block_on_miss: bool = False,
+    ) -> Optional[CacheAccessResult]:
         """Perform a load access.
 
         Args:
             line_addr: cache-line address.
             warp_id: the accessing warp (for intra/inter-warp classification).
             allocate: whether a miss may reserve a line (pollute privilege).
+            block_on_miss: when the caller cannot absorb a miss this cycle
+                (e.g. no MSHR entry is available), a would-be miss aborts the
+                access — no state or statistics change — and ``None`` is
+                returned.  This lets the SM resolve hit/miss and perform the
+                access with a single set walk instead of ``probe()`` +
+                ``access()``.
         """
-        self._access_counter += 1
         target = self._tag(line_addr)
         cache_set = self._sets[self.set_index(line_addr)]
 
         for line in cache_set:
             if line.valid and line.tag == target:
+                self._access_counter += 1
                 self.hits += 1
                 intra = line.last_warp == warp_id
                 line.last_warp = warp_id
                 line.lru_stamp = self._access_counter
                 return CacheAccessResult(hit=True, intra_warp=intra, allocated=False)
 
+        if block_on_miss:
+            return None
+        self._access_counter += 1
         self.misses += 1
         if not allocate:
             self.bypasses += 1

@@ -30,6 +30,7 @@ class GTOScheduler:
         self._p = max_warps
         self._vital_ids: set = set()
         self._pollute_ids: set = set()
+        self._vital_list: List[Warp] = []
         self._last_issued: Optional[Warp] = None
         self._refresh_bits()
 
@@ -51,7 +52,11 @@ class GTOScheduler:
 
     def _refresh_bits(self) -> None:
         active = self._active_warps_oldest_first()
-        self._vital_ids = {warp.wid for warp in active[: self._n]}
+        # The vital list is kept as an age-ordered list so ``pick`` only
+        # walks the N oldest active warps instead of rescanning every warp
+        # (finished ones included) each cycle.
+        self._vital_list = active[: self._n]
+        self._vital_ids = {warp.wid for warp in self._vital_list}
         self._pollute_ids = {warp.wid for warp in active[: self._p]}
 
     def on_warp_exit(self) -> None:
@@ -66,7 +71,7 @@ class GTOScheduler:
         return warp.wid in self._pollute_ids
 
     def vital_warps(self) -> List[Warp]:
-        return [warp for warp in self.warps if warp.wid in self._vital_ids and not warp.done]
+        return [warp for warp in self._vital_list if not warp.done]
 
     # -- arbitration --------------------------------------------------------------
 
@@ -81,8 +86,8 @@ class GTOScheduler:
             and last.is_schedulable()
         ):
             return last
-        for warp in self.warps:  # oldest first (warp ids are age-ordered)
-            if warp.wid in self._vital_ids and warp.is_schedulable():
+        for warp in self._vital_list:  # oldest first (warp ids are age-ordered)
+            if warp.is_schedulable():
                 self._last_issued = warp
                 return warp
         return None

@@ -70,13 +70,20 @@ class StreamingMultiprocessor:
         # (completion_cycle, sequence, line_addr, [(warp_id, token), ...])
         self._responses: List[Tuple[int, int, int, List[Tuple[int, int]]]] = []
         self._response_seq = 0
+        # line_addr -> the waiter list of its in-flight response (the same
+        # list object that sits in the heap entry), so merged misses attach
+        # in O(1) instead of scanning every pending response.
+        self._response_waiters: dict = {}
         self._warps_by_id = {warp.wid: warp for warp in self.warps}
+        # Warps retire exactly at the two ``warp.done`` checks in the cycle
+        # loop, so a simple countdown replaces the per-step all-warps scan.
+        self._unfinished_warps = sum(1 for warp in self.warps if not warp.done)
 
     # -- public control -----------------------------------------------------------
 
     @property
     def done(self) -> bool:
-        return all(warp.done for warp in self.warps)
+        return self._unfinished_warps == 0
 
     def set_warp_tuple(self, n: int, p: int) -> None:
         self.scheduler.set_warp_tuple(n, p)
@@ -122,13 +129,17 @@ class StreamingMultiprocessor:
     def _deliver_responses(self) -> None:
         while self._responses and self._responses[0][0] <= self.cycle:
             completion, _, line_addr, waiters = heapq.heappop(self._responses)
+            del self._response_waiters[line_addr]
             for warp_id, token in waiters:
                 warp = self._warps_by_id[warp_id]
                 pending = warp.complete_load(token)
+                # Each waiter is charged its own latency: merged loads issue
+                # later than the primary, so their round trip is shorter.
                 latency = completion - pending.issue_cycle
                 self.counters.miss_requests += 1
                 self.counters.miss_latency_total += latency
                 if warp.done:
+                    self._unfinished_warps -= 1
                     self.scheduler.on_warp_exit()
             self.mshr.release(line_addr)
 
@@ -158,6 +169,7 @@ class StreamingMultiprocessor:
                 self.counters.instructions -= 1
                 return
         if warp.done:
+            self._unfinished_warps -= 1
             self.scheduler.on_warp_exit()
         self.scheduler.note_issue(warp)
 
@@ -167,14 +179,20 @@ class StreamingMultiprocessor:
         polluting = self.scheduler.is_polluting(warp)
         allocate = polluting and self.cache_policy.allow_allocate(instruction, warp.wid)
 
-        # Structural hazard check before any state changes: a load that will
-        # miss needs an MSHR entry (new or merged); without one the access
-        # cannot issue this cycle and the warp retries later.
-        if not self.l1.probe(line_addr):
-            if self.mshr.lookup(line_addr) is None and self.mshr.full:
-                self.counters.mshr_stall_cycles += 1
-                self.mshr.stalls += 1
-                return False
+        # Structural hazard: a load that will miss needs an MSHR entry (new
+        # or merged); without one the access cannot issue this cycle and the
+        # warp retries later.  The MSHR availability check is O(1), so it is
+        # evaluated up front and the cache access itself resolves hit/miss in
+        # a single set walk — a would-be miss without an MSHR aborts the
+        # access (returns ``None``) before any state changes.
+        mshr_available = self.mshr.lookup(line_addr) is not None or not self.mshr.full
+        result = self.l1.access(
+            line_addr, warp.wid, allocate=allocate, block_on_miss=not mshr_available
+        )
+        if result is None:
+            self.counters.mshr_stall_cycles += 1
+            self.mshr.stalls += 1
+            return False
 
         self.counters.loads += 1
         self.counters.l1_accesses += 1
@@ -185,7 +203,6 @@ class StreamingMultiprocessor:
         if self.reuse_tracker is not None:
             self.reuse_tracker.record(warp.wid, line_addr)
 
-        result = self.l1.access(line_addr, warp.wid, allocate=allocate)
         self.cache_policy.observe_access(instruction, warp.wid, result.hit)
 
         if result.hit:
@@ -219,13 +236,12 @@ class StreamingMultiprocessor:
             else:
                 self.counters.dram_accesses += 1
             self._response_seq += 1
+            waiters = [(warp.wid, token)]
+            self._response_waiters[line_addr] = waiters
             heapq.heappush(
                 self._responses,
-                (response.completion_cycle, self._response_seq, line_addr, [(warp.wid, token)]),
+                (response.completion_cycle, self._response_seq, line_addr, waiters),
             )
-        else:  # merged
-            for entry in self._responses:
-                if entry[2] == line_addr:
-                    entry[3].append((warp.wid, token))
-                    break
+        else:  # merged: attach to the in-flight response for this line
+            self._response_waiters[line_addr].append((warp.wid, token))
         return True

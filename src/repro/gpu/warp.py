@@ -10,10 +10,14 @@ structure used by the paper's analytical model (Section V-A).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.gpu.isa import Instruction
+
+#: Sentinel for "no outstanding load blocks anything".
+_NO_BLOCK = sys.maxsize
 
 
 @dataclass
@@ -44,6 +48,11 @@ class Warp:
     def __post_init__(self) -> None:
         if not self.program:
             self.exited = True
+        self._program_len = len(self.program)
+        # The smallest first-dependent index over all outstanding loads,
+        # maintained incrementally so the per-cycle schedulability check is
+        # O(1) instead of a scan of the outstanding-load table.
+        self._min_first_dep = _NO_BLOCK
 
     @property
     def done(self) -> bool:
@@ -70,9 +79,9 @@ class Warp:
 
     def is_schedulable(self) -> bool:
         """True when the warp can issue its next instruction this cycle."""
-        if self.done or self.finished_issuing:
+        if self.exited or self.pc >= self._program_len:
             return False
-        return self.blocking_load() is None
+        return self.pc < self._min_first_dep
 
     def record_load_issue(self, token: int, dep_distance: int, cycle: int) -> None:
         self.outstanding[token] = OutstandingLoad(
@@ -81,6 +90,9 @@ class Warp:
             dep_distance=dep_distance,
             issue_cycle=cycle,
         )
+        first_dep = self.pc + dep_distance + 1
+        if first_dep < self._min_first_dep:
+            self._min_first_dep = first_dep
 
     def advance(self) -> None:
         self.pc += 1
@@ -88,9 +100,16 @@ class Warp:
 
     def complete_load(self, token: int) -> OutstandingLoad:
         try:
-            return self.outstanding.pop(token)
+            pending = self.outstanding.pop(token)
         except KeyError:
             raise KeyError(f"warp {self.wid} has no outstanding load with token {token}")
+        if pending.first_dependent_index <= self._min_first_dep:
+            self._min_first_dep = (
+                min(load.first_dependent_index for load in self.outstanding.values())
+                if self.outstanding
+                else _NO_BLOCK
+            )
+        return pending
 
     def reset(self) -> None:
         """Rewind the warp to its initial state (used by profiling sweeps)."""
@@ -98,6 +117,7 @@ class Warp:
         self.outstanding.clear()
         self.issued_instructions = 0
         self.exited = not self.program
+        self._min_first_dep = _NO_BLOCK
 
 
 def make_warps(programs: Sequence[Sequence[Instruction]]) -> List[Warp]:

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Sequence, Tuple  # noqa: F401  (Sequenc
 
 from repro.gpu.config import GPUConfig, baseline_config
 from repro.gpu.gpu import GPU, RunResult
+from repro.runtime.executor import SweepExecutor
 from repro.workloads.generator import generate_kernel_programs
 from repro.workloads.spec import KernelSpec
 
@@ -88,12 +89,14 @@ class KernelProfiler:
         warmup_cycles: int = 4_000,
         n_step: int = 1,
         p_step: int = 1,
+        executor: Optional[SweepExecutor] = None,
     ) -> None:
         self.config = config or baseline_config()
         self.cycles_per_point = cycles_per_point
         self.warmup_cycles = warmup_cycles
         self.n_step = max(1, n_step)
         self.p_step = max(1, p_step)
+        self.executor = executor
 
     def _grid_points(self, max_warps: int) -> List[Tuple[int, int]]:
         points: List[Tuple[int, int]] = []
@@ -142,7 +145,13 @@ class KernelProfiler:
         )
 
     def profile(self, spec: KernelSpec) -> StaticProfile:
-        """Profile one kernel over the (possibly subsampled) warp-tuple grid."""
+        """Profile one kernel over the (possibly subsampled) warp-tuple grid.
+
+        Every grid point is an independent simulation, so when the resolved
+        executor has more than one worker the points are fanned out over a
+        process pool; results are keyed by their ``(n, p)`` point, so the
+        profile is identical to a serial sweep.
+        """
         max_warps = min(self.config.max_warps, spec.num_warps)
         programs = generate_kernel_programs(spec)
         baseline = self.measure_point(spec, max_warps, max_warps, programs=programs)
@@ -153,12 +162,47 @@ class KernelProfiler:
             baseline_counters=baseline.counters,
         )
         profile.ipc[(max_warps, max_warps)] = baseline.ipc
-        for n, p in self._grid_points(max_warps):
-            if (n, p) in profile.ipc:
-                continue
-            result = self.measure_point(spec, n, p, programs=programs)
-            profile.ipc[(n, p)] = result.ipc
+        points = list(
+            dict.fromkeys(
+                point for point in self._grid_points(max_warps) if point not in profile.ipc
+            )
+        )
+        executor = self.executor or SweepExecutor()
+        if executor.parallel and len(points) > 1:
+            results = executor.map(
+                _measure_point_job,
+                [
+                    (self.config, spec, n, p, self.cycles_per_point, self.warmup_cycles)
+                    for n, p in points
+                ],
+            )
+            for (n, p), result in zip(points, results):
+                profile.ipc[(n, p)] = result.ipc
+        else:
+            for n, p in points:
+                result = self.measure_point(spec, n, p, programs=programs)
+                profile.ipc[(n, p)] = result.ipc
         return profile
+
+
+def _measure_point_job(
+    config: GPUConfig,
+    spec: KernelSpec,
+    n: int,
+    p: int,
+    cycles_per_point: int,
+    warmup_cycles: int,
+) -> RunResult:
+    """Module-level worker for one grid point (must be picklable).
+
+    The worker regenerates the kernel's programs from the spec — generation
+    is seeded, so the traces (and therefore the counters) are identical to
+    the ones a serial sweep uses.
+    """
+    profiler = KernelProfiler(
+        config=config, cycles_per_point=cycles_per_point, warmup_cycles=warmup_cycles
+    )
+    return profiler.measure_point(spec, n, p)
 
 
 def profile_kernel(

@@ -1,0 +1,18 @@
+"""Runtime infrastructure: parallel sweep execution and persistent caching.
+
+This package keeps the *how it runs* concerns — process fan-out and the
+content-addressed on-disk result cache — out of the simulator and the
+experiment logic.  :mod:`repro.runtime.serialization` is imported on demand
+by callers (not here) because it depends on the profiling layer.
+"""
+
+from repro.runtime.cache import DiskCache, content_key
+from repro.runtime.executor import JOBS_ENV, SweepExecutor, resolve_jobs
+
+__all__ = [
+    "DiskCache",
+    "content_key",
+    "JOBS_ENV",
+    "SweepExecutor",
+    "resolve_jobs",
+]

@@ -1,0 +1,155 @@
+"""Simulator-throughput microbenchmarks (shared by pytest and the CLI).
+
+Two workloads bracket the simulator's behaviour:
+
+* a *memory-divergent* kernel (frequent loads, large working set) that
+  exercises the MSHR/response machinery and the stall fast-forward path, and
+* a *compute-intensive* kernel (rare loads) that exercises the issue loop
+  and the scheduler's greedy path.
+
+``measure_throughput`` reports simulated cycles per wall-clock second —
+the BENCH trajectory metric for the hot loop.  ``measure_sweep`` times the
+fast-profile warp-tuple sweep cold (every point simulated, the seed's
+serial path) and warm (served from the persistent result cache), plus a
+parallel re-sweep used to check counter equivalence.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.gpu.config import baseline_config
+from repro.gpu.gpu import GPU
+from repro.profiling.profiler import KernelProfiler
+from repro.runtime.executor import SweepExecutor
+from repro.workloads.generator import generate_kernel_programs
+from repro.workloads.spec import KernelSpec
+
+
+@contextlib.contextmanager
+def _pinned_env(**values: str) -> Iterator[None]:
+    saved = {key: os.environ.get(key) for key in values}
+    os.environ.update(values)
+    try:
+        yield
+    finally:
+        for key, previous in saved.items():
+            if previous is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = previous
+
+
+def memory_divergent_kernel() -> KernelSpec:
+    """Every third instruction is a load and the footprint thrashes the L1."""
+    return KernelSpec(
+        name="bench_memory_divergent",
+        num_warps=24,
+        instructions_per_warp=6_000,
+        instructions_per_load=3,
+        dep_distance=2,
+        intra_warp_fraction=0.5,
+        inter_warp_fraction=0.3,
+        private_lines=300,
+        shared_lines=1_024,
+        seed=7,
+    )
+
+
+def compute_intensive_kernel() -> KernelSpec:
+    """Loads are rare; the issue loop and scheduler dominate."""
+    return KernelSpec(
+        name="bench_compute_intensive",
+        num_warps=24,
+        instructions_per_warp=6_000,
+        instructions_per_load=50,
+        dep_distance=8,
+        intra_warp_fraction=0.6,
+        inter_warp_fraction=0.2,
+        private_lines=64,
+        shared_lines=256,
+        seed=3,
+    )
+
+
+def measure_throughput(spec: KernelSpec, max_cycles: int = 80_000) -> Dict[str, float]:
+    """Run one kernel and report simulated cycles per wall-clock second."""
+    config = baseline_config(max_cycles=max_cycles)
+    gpu = GPU(config)
+    programs = generate_kernel_programs(spec)
+    start = time.perf_counter()
+    result = gpu.run_kernel(programs, max_cycles=max_cycles)
+    elapsed = max(time.perf_counter() - start, 1e-9)
+    return {
+        "kernel": spec.name,
+        "cycles": result.counters.cycles,
+        "instructions": result.counters.instructions,
+        "wall_seconds": elapsed,
+        "cycles_per_second": result.counters.cycles / elapsed,
+        "instructions_per_second": result.counters.instructions / elapsed,
+    }
+
+
+def measure_sweep(
+    cache_dir: Path,
+    spec: Optional[KernelSpec] = None,
+    parallel_jobs: int = 4,
+) -> Dict[str, object]:
+    """Time the fast-profile warp-tuple sweep cold, warm and in parallel.
+
+    ``cache_dir`` must be fresh for the cold number to be honest.  Returns
+    wall-clock timings plus whether the parallel re-sweep reproduced the
+    serial grid bit-for-bit.
+    """
+    # Imported here: experiments.common pulls in the whole scheme zoo, which
+    # the throughput-only path doesn't need.
+    from repro.experiments.common import ExperimentConfig, clear_caches, get_profile
+
+    spec = spec or memory_divergent_kernel()
+    config = replace(ExperimentConfig.fast(), cache_dir=Path(cache_dir))
+
+    # Pin the knobs this measurement is *about*: the cold pass must be the
+    # serial path and the warm pass must be allowed to hit the disk cache,
+    # regardless of what the ambient environment exports.
+    with _pinned_env(REPRO_JOBS="1", REPRO_DISK_CACHE="1"):
+        clear_caches()
+        start = time.perf_counter()
+        cold_profile = get_profile(spec, config)
+        cold_seconds = time.perf_counter() - start
+
+        clear_caches()  # memory layer only; the disk layer persists
+        start = time.perf_counter()
+        warm_profile = get_profile(spec, config)
+        warm_seconds = max(time.perf_counter() - start, 1e-9)
+
+    start = time.perf_counter()
+    parallel_profile = config.profiler().profile(spec) if parallel_jobs <= 1 else (
+        KernelProfiler(
+            config=config.gpu,
+            cycles_per_point=config.profile_cycles,
+            warmup_cycles=config.profile_warmup,
+            n_step=config.profile_n_step,
+            p_step=config.profile_p_step,
+            executor=SweepExecutor(jobs=parallel_jobs),
+        ).profile(spec)
+    )
+    parallel_seconds = time.perf_counter() - start
+
+    clear_caches()
+    return {
+        "kernel": spec.name,
+        "points": len(cold_profile.ipc),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_speedup": cold_seconds / warm_seconds,
+        "parallel_jobs": parallel_jobs,
+        "parallel_seconds": parallel_seconds,
+        "parallel_matches_serial": (
+            parallel_profile.ipc == cold_profile.ipc == warm_profile.ipc
+        ),
+    }

@@ -1,0 +1,91 @@
+"""Content-addressed on-disk result cache.
+
+Simulation results (static profiles, per-kernel ``RunResult``s) are keyed by
+the SHA-256 of a canonical-JSON description of *everything that determines
+the result*: the kernel spec, the full GPU configuration, the scheme and its
+run knobs, and the package version.  Two configs that differ in any
+run-affecting knob therefore hash to different entries — there is no
+"same label, different knobs" collision by construction.
+
+Layout::
+
+    <cache_dir>/runs/<sha256>.json
+
+Entries are written atomically (temp file + ``os.replace``) so a concurrent
+or interrupted writer can never leave a half-written entry behind, and a
+corrupted or truncated entry is treated as a miss (and deleted) rather than
+an error — the caller simply recomputes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+_FORMAT_VERSION = 1
+
+
+def content_key(payload: dict) -> str:
+    """SHA-256 of the canonical JSON encoding of ``payload``."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class DiskCache:
+    """A directory of content-addressed JSON documents."""
+
+    def __init__(self, cache_dir: Union[str, Path], subdir: str = "runs") -> None:
+        self.root = Path(cache_dir) / subdir
+
+    def path_for(self, payload: dict) -> Path:
+        return self.root / f"{content_key(payload)}.json"
+
+    def load(self, payload: dict) -> Optional[dict]:
+        """Return the cached document for ``payload``, or ``None`` on a miss.
+
+        A corrupted, truncated or wrong-format entry counts as a miss; the
+        offending file is removed so the recomputed result can replace it.
+        """
+        path = self.path_for(payload)
+        try:
+            document = json.loads(path.read_text())
+            if document.get("format_version") != _FORMAT_VERSION:
+                raise ValueError("unsupported cache format")
+            return document["result"]
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def store(self, payload: dict, result: dict) -> Optional[Path]:
+        """Atomically write ``result`` for ``payload``; best-effort on errors."""
+        path = self.path_for(payload)
+        document = {"format_version": _FORMAT_VERSION, "result": result}
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(document, sort_keys=True))
+            os.replace(tmp, path)
+            return path
+        except (OSError, TypeError, ValueError):
+            return None  # caching is best-effort, never fatal
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for entry in self.root.glob("*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,90 @@
+"""Process-pool fan-out for embarrassingly parallel simulation sweeps.
+
+Every figure of the paper is a sweep: the profiler runs one full cycle-level
+simulation per point of the ``(N, p)`` warp-tuple grid, and the evaluation
+runs one per (scheme, kernel) pair.  The points are independent, so the
+:class:`SweepExecutor` fans them out over a ``ProcessPoolExecutor`` and
+returns results in submission order — aggregation stays deterministic and
+the counters are bit-identical to a serial run.
+
+The worker count comes from the ``REPRO_JOBS`` environment variable:
+
+* unset or ``1`` — serial execution in-process (the default; this is also
+  what tests use for determinism-by-construction),
+* ``0`` or ``auto`` — one worker per CPU core,
+* any other integer — that many workers.
+
+Worker processes force ``REPRO_JOBS=1`` for themselves so nested sweeps
+(e.g. a profile sweep inside a parallel training run) never spawn pools of
+pools.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+#: Environment variable controlling the worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve an explicit or environment-provided worker count to an int."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    raw = os.environ.get(JOBS_ENV, "").strip().lower()
+    if raw in ("", "1"):
+        return 1
+    if raw in ("0", "auto"):
+        return os.cpu_count() or 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def _worker_init() -> None:
+    """Run in every pool worker: force serial execution for nested sweeps."""
+    os.environ[JOBS_ENV] = "1"
+
+
+class SweepExecutor:
+    """Order-preserving map over independent simulation jobs.
+
+    ``map(fn, args_list)`` behaves like ``[fn(*args) for args in args_list]``
+    but fans the calls out over ``jobs`` worker processes when ``jobs > 1``.
+    ``fn`` must be a module-level function and every argument picklable
+    (an unpicklable argument raises, loudly — it is a programming error,
+    not an environment problem).  Pool-*infrastructure* failures — a
+    sandbox that forbids subprocesses, a fork failure, workers dying —
+    degrade to the serial path, which always works; exceptions raised by
+    ``fn`` itself propagate unchanged.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1
+
+    def map(self, fn: Callable, args_list: Sequence[Tuple]) -> List[Any]:
+        args_list = list(args_list)
+        if self.jobs <= 1 or len(args_list) <= 1:
+            return [fn(*args) for args in args_list]
+        workers = min(self.jobs, len(args_list))
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers, initializer=_worker_init)
+        except (OSError, PermissionError, ValueError):
+            # The environment cannot spawn worker processes at all.
+            return [fn(*args) for args in args_list]
+        try:
+            with pool:
+                futures = [pool.submit(fn, *args) for args in args_list]
+                return [future.result() for future in futures]
+        except BrokenProcessPool:
+            # Workers died underneath us (OOM-kill, sandbox reaping) — the
+            # jobs are pure simulations, so recomputing serially is safe.
+            return [fn(*args) for args in args_list]

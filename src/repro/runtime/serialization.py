@@ -1,0 +1,182 @@
+"""JSON (de)serialisation of simulation results and content-key payloads.
+
+Models already survive across processes through
+:mod:`repro.core.model_store`; this module does the same for the other two
+expensive artefacts — per-kernel :class:`~repro.gpu.gpu.RunResult`\\ s and
+warp-tuple-grid :class:`~repro.profiling.profiler.StaticProfile`\\ s — so the
+:class:`~repro.runtime.cache.DiskCache` can hand them between the sweep
+workers and across runs.
+
+Tuples matter here (warp-tuples, telemetry trails), so the encoding wraps
+them in a ``{"__tuple__": [...]}`` marker and the decoder restores them —
+a result that round-trips through the disk cache compares equal to the
+freshly computed one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import repro
+from repro.gpu.counters import PerfCounters
+from repro.gpu.energy import EnergyReport
+from repro.gpu.gpu import RunResult
+from repro.profiling.profiler import StaticProfile
+from repro.version import __version__
+from repro.workloads.spec import KernelSpec
+
+_TUPLE_MARK = "__tuple__"
+
+
+def encode_value(obj: Any) -> Any:
+    """Recursively convert a value to JSON-representable form, keeping tuples."""
+    if isinstance(obj, tuple):
+        return {_TUPLE_MARK: [encode_value(item) for item in obj]}
+    if isinstance(obj, list):
+        return [encode_value(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): encode_value(value) for key, value in obj.items()}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    return str(obj)
+
+
+def decode_value(obj: Any) -> Any:
+    """Reverse :func:`encode_value`."""
+    if isinstance(obj, dict):
+        if set(obj.keys()) == {_TUPLE_MARK}:
+            return tuple(decode_value(item) for item in obj[_TUPLE_MARK])
+        return {key: decode_value(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [decode_value(item) for item in obj]
+    return obj
+
+
+# -- counters / energy / run results --------------------------------------------
+
+
+def counters_to_dict(counters: PerfCounters) -> Dict[str, int]:
+    return {f.name: getattr(counters, f.name) for f in dataclasses.fields(counters)}
+
+
+def counters_from_dict(data: Dict[str, int]) -> PerfCounters:
+    names = {f.name for f in dataclasses.fields(PerfCounters)}
+    return PerfCounters(**{key: int(value) for key, value in data.items() if key in names})
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    return {
+        "counters": counters_to_dict(result.counters),
+        "cycles": result.cycles,
+        "energy": dataclasses.asdict(result.energy),
+        "warp_tuple": list(result.warp_tuple),
+        "completed": result.completed,
+        "telemetry": encode_value(result.telemetry),
+    }
+
+
+def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
+    return RunResult(
+        counters=counters_from_dict(data["counters"]),
+        cycles=int(data["cycles"]),
+        energy=EnergyReport(**{k: float(v) for k, v in data["energy"].items()}),
+        warp_tuple=tuple(int(v) for v in data["warp_tuple"]),
+        completed=bool(data["completed"]),
+        telemetry=decode_value(data.get("telemetry") or {}),
+    )
+
+
+# -- static profiles -------------------------------------------------------------
+
+
+def profile_to_dict(profile: StaticProfile) -> Dict[str, Any]:
+    return {
+        "kernel": dataclasses.asdict(profile.kernel),
+        "max_warps": profile.max_warps,
+        "baseline_ipc": profile.baseline_ipc,
+        "ipc": [[n, p, value] for (n, p), value in sorted(profile.ipc.items())],
+        "baseline_counters": (
+            counters_to_dict(profile.baseline_counters)
+            if isinstance(profile.baseline_counters, PerfCounters)
+            else None
+        ),
+    }
+
+
+def profile_from_dict(data: Dict[str, Any]) -> StaticProfile:
+    counters = data.get("baseline_counters")
+    return StaticProfile(
+        kernel=KernelSpec(**data["kernel"]),
+        max_warps=int(data["max_warps"]),
+        baseline_ipc=float(data["baseline_ipc"]),
+        ipc={(int(n), int(p)): float(value) for n, p, value in data["ipc"]},
+        baseline_counters=counters_from_dict(counters) if counters else None,
+    )
+
+
+# -- content-key payloads ---------------------------------------------------------
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of the package's source files.
+
+    Folded into every content key so cached results can never outlive the
+    simulator code that produced them: editing any ``repro`` module
+    invalidates the whole disk cache, the same way a version bump would.
+    """
+    try:
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(path.read_bytes())
+        return digest.hexdigest()[:16]
+    except OSError:
+        return f"version-{__version__}"
+
+
+def spec_payload(spec: KernelSpec) -> Dict[str, Any]:
+    return dataclasses.asdict(spec)
+
+
+def gpu_payload(gpu_config) -> Dict[str, Any]:
+    return encode_value(dataclasses.asdict(gpu_config))
+
+
+def profile_key_payload(
+    spec: KernelSpec,
+    gpu_config,
+    cycles_per_point: int,
+    warmup_cycles: int,
+    n_step: int,
+    p_step: int,
+) -> Dict[str, Any]:
+    """Everything that determines a :class:`StaticProfile`."""
+    return {
+        "kind": "profile",
+        "version": __version__,
+        "code": code_fingerprint(),
+        "spec": spec_payload(spec),
+        "gpu": gpu_payload(gpu_config),
+        "cycles_per_point": cycles_per_point,
+        "warmup_cycles": warmup_cycles,
+        "n_step": n_step,
+        "p_step": p_step,
+    }
+
+
+def model_digest(model) -> Optional[Dict[str, Any]]:
+    """A compact content summary of a trained model (for run keys)."""
+    if model is None:
+        return None
+    return {
+        "alpha": [round(float(w), 12) for w in model.alpha_weights],
+        "beta": [round(float(w), 12) for w in model.beta_weights],
+        "max_warps": model.max_warps,
+        "feature_mask": list(model.feature_mask or []),
+    }

@@ -110,6 +110,57 @@ class TestMemoryBehaviour:
         assert sm.counters.l1_hits == sm.counters.intra_warp_hits + sm.counters.inter_warp_hits
 
 
+class TestMergedMissLatencyAccounting:
+    def test_each_merged_waiter_charged_its_own_latency(self, small_gpu_config):
+        # Merges only happen for *bypassed* misses (an allocating miss
+        # reserves the line, so later accesses hit).  Warp 0 holds the
+        # pollute privilege with its own line; warps 1 and 2 are
+        # non-polluting.  Warp 1's bypassed miss to line 42 is the primary
+        # (issued at cycle 1); warp 2 runs two ALU ops first and merges into
+        # the in-flight entry at cycle 4.  Both waiters complete at the same
+        # cycle C, so the recorded latencies must be C-1 and C-4 — NOT the
+        # primary's round trip twice.
+        programs = [
+            [load(9, dep_distance=0)],                  # polluting holder
+            [load(42, dep_distance=0)],                 # primary bypassed miss
+            [alu(), alu(), load(42, dep_distance=0)],   # merged bypassed miss
+        ]
+        sm = build_sm(small_gpu_config, programs)
+        sm.set_warp_tuple(3, 1)
+        sm.run_to_completion()
+        assert sm.done
+        assert sm.memory.requests == 2  # line 9 + one shared request for 42
+        assert sm.mshr.merges == 1
+        assert sm.counters.miss_requests == 3
+        # The kernel ends one cycle after the last response is delivered, so
+        # line 42 completes at C = sm.cycle - 1.  Expected accounting:
+        #   line 9 waiter:        C9 - 0            (= its memory latency)
+        #   primary 42 waiter:    C  - 1            (= its memory latency)
+        #   merged 42 waiter:     C  - 4
+        # and memory.total_latency = (C9 - 0) + (C - 1), hence:
+        completion = sm.cycle - 1
+        expected = sm.memory.total_latency + (completion - 4)
+        assert sm.counters.miss_latency_total == expected
+
+    def test_merged_waiters_all_released_with_entry(self, small_gpu_config):
+        # Several non-polluting warps pile onto the same line; when the
+        # response returns, every waiter must complete and the MSHR entry
+        # must free exactly once.
+        programs = [[load(9, dep_distance=0)]] + [
+            [load(42, dep_distance=0)] for _ in range(3)
+        ]
+        sm = build_sm(small_gpu_config, programs)
+        sm.set_warp_tuple(4, 1)
+        sm.run_to_completion()
+        assert sm.done
+        assert sm.memory.requests == 2
+        assert sm.mshr.merges == 2
+        assert sm.counters.miss_requests == 4
+        assert sm.mshr.occupancy == 0
+        for warp in sm.warps:
+            assert not warp.outstanding
+
+
 class TestWarpTupleEffects:
     def test_non_polluting_warps_never_allocate(self, small_gpu_config):
         # Warp 1 is non-polluting for its whole (shorter) lifetime: its lines

@@ -1,0 +1,266 @@
+"""Tests for the sweep executor, the persistent result cache and the
+cache-key hygiene of the experiment layer.
+
+The two load-bearing guarantees of the runtime subsystem:
+
+* a parallel sweep produces *bit-identical* counters to a serial one, and
+* a corrupted or truncated disk-cache entry falls back to recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    clear_caches,
+    evaluate_schemes,
+    get_profile,
+    run_scheme_on_kernel,
+)
+from repro.gpu.config import baseline_config
+from repro.profiling.profiler import KernelProfiler
+from repro.runtime.cache import DiskCache, content_key
+from repro.runtime.executor import SweepExecutor, resolve_jobs
+from repro.runtime.serialization import (
+    decode_value,
+    encode_value,
+    profile_from_dict,
+    profile_to_dict,
+    run_result_from_dict,
+    run_result_to_dict,
+)
+from repro.workloads.spec import KernelSpec
+
+
+@pytest.fixture
+def sweep_spec() -> KernelSpec:
+    return KernelSpec(
+        name="runtime_kernel",
+        num_warps=12,
+        instructions_per_warp=1200,
+        instructions_per_load=3,
+        dep_distance=3,
+        intra_warp_fraction=0.6,
+        inter_warp_fraction=0.2,
+        private_lines=100,
+        shared_lines=300,
+        seed=9,
+    )
+
+
+@pytest.fixture
+def tmp_cache_config(tmp_path) -> ExperimentConfig:
+    """A fast config whose disk cache lives in an isolated temp directory."""
+    clear_caches()
+    yield replace(ExperimentConfig.fast(), cache_dir=tmp_path)
+    clear_caches()
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"boom {x}")
+
+
+class TestSweepExecutor:
+    def test_resolve_jobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        assert resolve_jobs() >= 1
+        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+        assert resolve_jobs() == 1
+        assert resolve_jobs(jobs=5) == 5
+
+    def test_serial_map_preserves_order(self):
+        executor = SweepExecutor(jobs=1)
+        assert executor.map(_square, [(i,) for i in range(6)]) == [0, 1, 4, 9, 16, 25]
+
+    def test_parallel_map_preserves_order(self):
+        executor = SweepExecutor(jobs=2)
+        assert executor.map(_square, [(i,) for i in range(6)]) == [0, 1, 4, 9, 16, 25]
+
+    def test_worker_exception_propagates(self):
+        executor = SweepExecutor(jobs=2)
+        with pytest.raises(RuntimeError, match="boom"):
+            executor.map(_boom, [(1,), (2,)])
+
+
+class TestSerialParallelEquivalence:
+    def test_profile_sweep_identical(self, sweep_spec):
+        """REPRO_JOBS=1 and REPRO_JOBS=4 sweeps measure identical grids."""
+        config = baseline_config(max_cycles=40_000)
+        kwargs = dict(cycles_per_point=1_500, warmup_cycles=1_000, n_step=3, p_step=3)
+        serial = KernelProfiler(config, executor=SweepExecutor(jobs=1), **kwargs).profile(
+            sweep_spec
+        )
+        parallel = KernelProfiler(config, executor=SweepExecutor(jobs=4), **kwargs).profile(
+            sweep_spec
+        )
+        assert serial.ipc == parallel.ipc
+        assert serial.baseline_ipc == parallel.baseline_ipc
+        assert serial.baseline_counters == parallel.baseline_counters
+
+    def test_profile_sweep_identical_via_env(self, sweep_spec, monkeypatch):
+        config = baseline_config(max_cycles=40_000)
+        kwargs = dict(cycles_per_point=1_500, warmup_cycles=1_000, n_step=4, p_step=4)
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        serial = KernelProfiler(config, **kwargs).profile(sweep_spec)
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        parallel = KernelProfiler(config, **kwargs).profile(sweep_spec)
+        assert serial.ipc == parallel.ipc
+
+    def test_evaluate_schemes_identical_counters(self, tmp_cache_config, monkeypatch):
+        """The full evaluation path agrees between serial and parallel runs."""
+        config = replace(tmp_cache_config, kernels_per_benchmark=1)
+        benchmarks = ["bfs"]
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        serial = evaluate_schemes(("gto", "swl"), config, benchmarks=benchmarks)
+        clear_caches(config)  # drop memory AND disk so the parallel pass recomputes
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        parallel = evaluate_schemes(("gto", "swl"), config, benchmarks=benchmarks)
+        for scheme in ("gto", "swl"):
+            for name in benchmarks:
+                lhs = serial[scheme][name]
+                rhs = parallel[scheme][name]
+                assert lhs.speedup == rhs.speedup
+                assert lhs.kernel_results.keys() == rhs.kernel_results.keys()
+                for kernel in lhs.kernel_results:
+                    assert (
+                        lhs.kernel_results[kernel].counters
+                        == rhs.kernel_results[kernel].counters
+                    )
+
+
+class TestDiskCache:
+    def test_round_trip_run_result(self, sweep_spec, tmp_cache_config):
+        first = run_scheme_on_kernel("gto", sweep_spec, tmp_cache_config)
+        clear_caches()  # drop the memory layer; the disk layer persists
+        second = run_scheme_on_kernel("gto", sweep_spec, tmp_cache_config)
+        assert first.counters == second.counters
+        assert first.warp_tuple == second.warp_tuple
+        assert first.energy == second.energy
+        assert first.telemetry == second.telemetry
+
+    def test_round_trip_profile(self, sweep_spec, tmp_cache_config):
+        first = get_profile(sweep_spec, tmp_cache_config)
+        clear_caches()
+        second = get_profile(sweep_spec, tmp_cache_config)
+        assert first.ipc == second.ipc
+        assert first.baseline_ipc == second.baseline_ipc
+        assert first.kernel == second.kernel
+        assert first.baseline_counters == second.baseline_counters
+
+    @pytest.mark.parametrize(
+        "garbage", ["", "{truncated", '{"format_version": 999}', '{"unrelated": 1}']
+    )
+    def test_corrupted_entry_falls_back_to_recompute(
+        self, sweep_spec, tmp_cache_config, garbage
+    ):
+        reference = run_scheme_on_kernel("gto", sweep_spec, tmp_cache_config)
+        entries = list((tmp_cache_config.cache_dir / "runs").glob("*.json"))
+        assert entries, "the run should have been written to the disk cache"
+        for entry in entries:
+            entry.write_text(garbage)
+        clear_caches()
+        recomputed = run_scheme_on_kernel("gto", sweep_spec, tmp_cache_config)
+        assert recomputed.counters == reference.counters
+
+    def test_corrupted_entry_is_replaced(self, sweep_spec, tmp_cache_config):
+        run_scheme_on_kernel("gto", sweep_spec, tmp_cache_config)
+        entries = list((tmp_cache_config.cache_dir / "runs").glob("*.json"))
+        for entry in entries:
+            entry.write_text("not json at all")
+        clear_caches()
+        run_scheme_on_kernel("gto", sweep_spec, tmp_cache_config)
+        clear_caches()
+        # Third call must be served by a healthy, rewritten disk entry.
+        result = run_scheme_on_kernel("gto", sweep_spec, tmp_cache_config)
+        assert result.counters.cycles > 0
+
+    def test_disk_cache_disabled_by_env(self, sweep_spec, tmp_cache_config, monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        run_scheme_on_kernel("gto", sweep_spec, tmp_cache_config)
+        assert not list(tmp_cache_config.cache_dir.glob("runs/*.json"))
+
+    def test_content_key_is_canonical(self):
+        assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+        assert content_key({"a": 1}) != content_key({"a": 2})
+
+    def test_store_and_clear(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        payload = {"kind": "test", "x": 1}
+        assert cache.load(payload) is None
+        cache.store(payload, {"value": 42})
+        assert cache.load(payload) == {"value": 42}
+        assert cache.clear() == 1
+        assert cache.load(payload) is None
+
+
+class TestSerialization:
+    def test_tuple_round_trip(self):
+        value = {"tuples": [(1, 2), (3, 4)], "nested": {"point": (5, 6)}, "n": 7}
+        assert decode_value(json.loads(json.dumps(encode_value(value)))) == value
+
+    def test_run_result_round_trip(self, sweep_spec, tmp_cache_config):
+        result = run_scheme_on_kernel("gto", sweep_spec, tmp_cache_config, use_cache=False)
+        data = json.loads(json.dumps(run_result_to_dict(result)))
+        restored = run_result_from_dict(data)
+        assert restored.counters == result.counters
+        assert restored.warp_tuple == result.warp_tuple
+        assert restored.energy == result.energy
+        assert restored.telemetry == result.telemetry
+
+    def test_profile_round_trip(self, sweep_spec):
+        profiler = KernelProfiler(
+            baseline_config(max_cycles=30_000),
+            cycles_per_point=1_000,
+            warmup_cycles=500,
+            n_step=4,
+            p_step=4,
+        )
+        profile = profiler.profile(sweep_spec)
+        restored = profile_from_dict(json.loads(json.dumps(profile_to_dict(profile))))
+        assert restored.ipc == profile.ipc
+        assert restored.kernel == profile.kernel
+        assert restored.max_warps == profile.max_warps
+        assert restored.baseline_counters == profile.baseline_counters
+
+
+class TestCacheKeyHygiene:
+    """Two configs differing in any run-affecting knob must not collide."""
+
+    def test_run_max_cycles_changes_key(self):
+        base = ExperimentConfig.fast()
+        assert base.cache_key != replace(base, run_max_cycles=base.run_max_cycles * 2).cache_key
+
+    def test_kernels_per_benchmark_changes_key(self):
+        base = ExperimentConfig.fast()
+        assert base.cache_key != replace(base, kernels_per_benchmark=7).cache_key
+
+    def test_poise_params_change_key(self):
+        base = ExperimentConfig.fast()
+        bigger_epoch = replace(
+            base.poise_params, t_period=base.poise_params.t_period * 2
+        )
+        assert base.cache_key != base.with_poise_params(bigger_epoch).cache_key
+
+    def test_feature_window_changes_key(self):
+        base = ExperimentConfig.fast()
+        assert base.cache_key != replace(base, feature_cycles=base.feature_cycles + 1).cache_key
+
+    def test_distinct_run_max_cycles_distinct_results(self, sweep_spec, tmp_cache_config):
+        """Regression: previously these two configs silently shared a cache slot."""
+        short = replace(tmp_cache_config, run_max_cycles=4_000)
+        long = replace(tmp_cache_config, run_max_cycles=40_000)
+        short_result = run_scheme_on_kernel("gto", sweep_spec, short)
+        long_result = run_scheme_on_kernel("gto", sweep_spec, long)
+        assert short_result.counters.cycles < long_result.counters.cycles
