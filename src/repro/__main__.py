@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro`` (see :mod:`repro.cli.main`)."""
+
+import sys
+
+from repro.cli.main import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,34 @@ class Table:
     def as_dict_rows(self) -> List[Dict[str, Cell]]:
         return [dict(zip(self.columns, row)) for row in self.rows]
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-representable form (NaN-safe: non-finite floats become strings)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [[_json_cell(cell) for cell in row] for row in self.rows],
+            "precision": self.precision,
+        }
+
+
+def _json_cell(value: Cell) -> Cell:
+    """Strict-JSON-safe cell: NaN/inf are not valid JSON numbers."""
+    if isinstance(value, float) and (value != value or value in (float("inf"), float("-inf"))):
+        return str(value)
+    return value
+
+
+def table_from_dict(data: Dict[str, object]) -> "Table":
+    """Rebuild a :class:`Table` from its ``to_dict`` form."""
+    table = Table(
+        title=str(data["title"]),
+        columns=[str(column) for column in data["columns"]],
+        precision=int(data.get("precision", 3)),
+    )
+    for row in data["rows"]:
+        table.add_row(*row)
+    return table
+
 
 def format_table(table: Table) -> str:
     """Render a table as aligned plain text."""
@@ -104,13 +132,40 @@ class ExperimentResult:
                 return table
         raise KeyError(f"no table matching {title_fragment!r} in {self.experiment_id}")
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-representable form of the whole result (see ``Table.to_dict``)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "tables": [table.to_dict() for table in self.tables],
+            "scalars": {key: _json_cell(value) for key, value in self.scalars.items()},
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result from ``to_dict`` output (or an artifact payload)."""
+        result = cls(
+            experiment_id=str(data["experiment_id"]),
+            description=str(data.get("description", "")),
+        )
+        for table_data in data.get("tables", []):
+            result.add_table(table_from_dict(table_data))
+        result.scalars.update(data.get("scalars", {}))
+        result.notes.extend(data.get("notes", []))
+        return result
+
     def to_text(self) -> str:
         parts = [f"### {self.experiment_id}: {self.description}"]
         for table in self.tables:
             parts.append(table.to_text())
         if self.scalars:
             parts.append(
-                "scalars: " + ", ".join(f"{key}={value:.4g}" for key, value in sorted(self.scalars.items()))
+                "scalars: "
+                + ", ".join(
+                    f"{key}={value:.4g}" if isinstance(value, (int, float)) else f"{key}={value}"
+                    for key, value in sorted(self.scalars.items())
+                )
             )
         for note in self.notes:
             parts.append(f"note: {note}")

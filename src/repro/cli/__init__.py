@@ -1,0 +1,14 @@
+"""The unified command-line interface (``python -m repro`` / ``repro``).
+
+Subcommands:
+
+* ``list`` — catalogue of every registered experiment,
+* ``run`` / ``run-all`` — execute experiments and emit JSON artifacts,
+* ``report`` — summarise previously emitted artifacts,
+* ``bench`` — simulator throughput microbenchmarks (BENCH_throughput.json),
+* ``pretrain`` — offline training of the Poise regression model.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,104 @@
+"""``repro bench`` — simulator throughput microbenchmarks.
+
+Appends one entry to ``BENCH_throughput.json`` (a JSON list, by default in
+the current directory) with the hot-loop throughput (simulated cycles per
+wall-clock second on the memory-divergent and compute-intensive kernels)
+and the fast-profile sweep wall-clock (cold serial vs. warm persistent-cache
+vs. parallel), so future performance PRs have a baseline to compare against.
+
+Usage::
+
+    python -m repro bench [--output PATH] [--jobs N] [--max-cycles N] [--dry-run]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.runtime.bench import (
+    compute_intensive_kernel,
+    measure_sweep,
+    measure_throughput,
+    memory_divergent_kernel,
+)
+from repro.runtime.executor import resolve_jobs
+from repro.version import __version__
+
+DEFAULT_OUTPUT = Path("BENCH_throughput.json")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro bench", description=__doc__)
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help="trajectory file to append to (default: ./BENCH_throughput.json)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4,
+        help="worker count for the parallel sweep measurement (default 4)",
+    )
+    parser.add_argument(
+        "--max-cycles", type=int, default=80_000,
+        help="cycle budget per throughput kernel (default 80000)",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="print the entry without appending it to the trajectory",
+    )
+    args = parser.parse_args(argv)
+
+    throughput = {}
+    for spec in (memory_divergent_kernel(), compute_intensive_kernel()):
+        result = measure_throughput(spec, max_cycles=args.max_cycles)
+        throughput[spec.name] = result
+        print(
+            f"{spec.name}: {result['cycles_per_second']:,.0f} cycles/s "
+            f"({result['cycles']:,} cycles in {result['wall_seconds']:.3f}s)"
+        )
+
+    # A fresh temp directory keeps the cold sweep honest.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        sweep = measure_sweep(Path(tmp), parallel_jobs=args.jobs)
+    print(
+        f"fast-profile sweep ({sweep['points']} points): "
+        f"cold {sweep['cold_seconds']:.2f}s, warm {sweep['warm_seconds']:.3f}s "
+        f"({sweep['warm_speedup']:.0f}x), "
+        f"parallel({sweep['parallel_jobs']}) {sweep['parallel_seconds']:.2f}s, "
+        f"identical counters: {sweep['parallel_matches_serial']}"
+    )
+
+    entry = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "version": __version__,
+        "jobs_env": resolve_jobs(),
+        "throughput": throughput,
+        "sweep": sweep,
+    }
+
+    if args.dry_run:
+        print(json.dumps(entry, indent=2))
+        return 0
+
+    trajectory = []
+    if args.output.exists():
+        try:
+            trajectory = json.loads(args.output.read_text())
+            if not isinstance(trajectory, list):
+                trajectory = [trajectory]
+        except (OSError, ValueError):
+            print(f"warning: {args.output} was unreadable; starting a new trajectory")
+            trajectory = []
+    trajectory.append(entry)
+    args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"appended entry #{len(trajectory)} to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

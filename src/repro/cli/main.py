@@ -1,0 +1,262 @@
+"""``python -m repro`` — the unified entry point of the reproduction.
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig07 fig08 --fast
+    python -m repro run-all --fast --jobs 4 --cache-dir /tmp/poise
+    python -m repro report --fast
+    python -m repro bench --dry-run
+    python -m repro pretrain --fast --output /tmp/model.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.tables import Table
+from repro.cli import runner
+from repro.experiments import registry
+from repro.experiments.common import default_cache_dir
+from repro.runtime.executor import SweepExecutor
+from repro.version import __version__
+
+
+def _jobs_arg(raw: str) -> int:
+    """``--jobs``: a non-negative integer or ``auto``; 0/auto = one per core.
+
+    Matches the semantics of the ``REPRO_JOBS`` environment variable and of
+    ``repro pretrain --jobs``.
+    """
+    value = raw.strip().lower()
+    if value == "auto":
+        return os.cpu_count() or 1
+    try:
+        parsed = int(value)
+        if parsed < 0:
+            raise ValueError
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be a non-negative integer or 'auto', got {raw!r}"
+        )
+    return parsed if parsed > 0 else (os.cpu_count() or 1)
+
+
+def _add_scale_flags(parser: argparse.ArgumentParser) -> None:
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--fast", action="store_true",
+        help="scaled-down test configuration (seconds per experiment)",
+    )
+    scale.add_argument(
+        "--full", action="store_true",
+        help="paper-shaped configuration (the default; minutes per experiment)",
+    )
+
+
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    _add_scale_flags(parser)
+    parser.add_argument(
+        "--jobs", type=_jobs_arg, default=None, metavar="N",
+        help="fan experiments out over N worker processes; 0 or 'auto' = one "
+        "per CPU core (default: serial, or the REPRO_JOBS environment variable)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="override the artefact/result cache root (default: REPRO_CACHE_DIR "
+        "or ~/.cache/poise-repro); artifacts land under DIR/artifacts/<label>/",
+    )
+    parser.add_argument(
+        "--print-tables", action="store_true",
+        help="print every experiment's full tables, not just the summary line",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Poise (HPCA'19) reproduction — experiment runner.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", metavar="COMMAND")
+
+    subparsers.add_parser("list", help="catalogue of every registered experiment")
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one or more experiments and emit JSON artifacts"
+    )
+    run_parser.add_argument(
+        "ids", nargs="+", metavar="ID",
+        help="experiment ids (see `repro list`), e.g. fig07 table02",
+    )
+    _add_run_flags(run_parser)
+
+    run_all_parser = subparsers.add_parser(
+        "run-all", help="run every registered experiment"
+    )
+    _add_run_flags(run_all_parser)
+
+    report_parser = subparsers.add_parser(
+        "report", help="summarise previously emitted artifacts"
+    )
+    _add_scale_flags(report_parser)
+    report_parser.add_argument("--cache-dir", default=None, metavar="DIR")
+
+    subparsers.add_parser(
+        "bench", help="simulator throughput microbenchmarks", add_help=False
+    )
+    subparsers.add_parser(
+        "pretrain", help="offline training of the Poise regression model", add_help=False
+    )
+    return parser
+
+
+def _label(args: argparse.Namespace) -> str:
+    return "fast" if getattr(args, "fast", False) else "full"
+
+
+def _cache_dir(args: argparse.Namespace) -> str:
+    if getattr(args, "cache_dir", None):
+        # Export so every component that resolves the default — including
+        # sweep workers — agrees with the flag.
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+        return args.cache_dir
+    return str(default_cache_dir())
+
+
+def _cmd_list() -> int:
+    table = Table(title="Registered experiments", columns=["id", "paper artefact", "title"])
+    for experiment in registry.all_experiments():
+        table.add_row(experiment.id, experiment.artifact, experiment.title)
+    print(table.to_text())
+    print(f"\n{len(table.rows)} experiments registered")
+    return 0
+
+
+def _cmd_run(ids: Sequence[str], args: argparse.Namespace) -> int:
+    label = _label(args)
+    cache_dir = _cache_dir(args)
+    ordered: List[str] = []
+    for experiment_id in ids:
+        registry.get(experiment_id)  # raises KeyError with suggestions
+        if experiment_id not in ordered:
+            ordered.append(experiment_id)
+
+    schema_failures: List[str] = []
+
+    def _finish(experiment_id: str, payload: dict) -> None:
+        """Validate, persist and report one artifact as soon as it exists —
+        an interrupt or a later experiment's crash never discards it."""
+        experiment = registry.get(experiment_id)
+        try:
+            experiment.validate_artifact(payload)
+            status = "ok"
+        except ValueError as error:
+            schema_failures.append(f"{experiment_id}: {error}")
+            status = "SCHEMA-INVALID"
+        path = runner.write_artifact(payload, cache_dir, label)
+        print(
+            f"{experiment_id:<9} {experiment.artifact:<14} "
+            f"{payload['elapsed_seconds']:>8.1f}s  {status}  {path}",
+            flush=True,
+        )
+        if args.print_tables:
+            from repro.analysis.tables import ExperimentResult
+
+            print()
+            print(ExperimentResult.from_dict(payload).to_text())
+            print()
+
+    executor = SweepExecutor(jobs=args.jobs)
+    job_args = [(experiment_id, label, cache_dir) for experiment_id in ordered]
+    if executor.parallel and len(job_args) > 1:
+        for experiment_id, payload in zip(
+            ordered, executor.map(runner.run_experiment_job, job_args)
+        ):
+            _finish(experiment_id, payload)
+    else:
+        for experiment_id, job in zip(ordered, job_args):
+            _finish(experiment_id, runner.run_experiment_job(*job))
+
+    if schema_failures:
+        print("\nartifact schema violations:", file=sys.stderr)
+        for failure in schema_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    label = _label(args)
+    cache_dir = _cache_dir(args)
+    artifacts = runner.load_artifacts(cache_dir, label)
+    directory = runner.artifacts_dir(cache_dir, label)
+    if not artifacts:
+        print(f"no artifacts under {directory} — run `python -m repro run-all` first")
+        return 1
+    table = Table(
+        title=f"Artifacts ({label} configuration) — {directory}",
+        columns=["id", "paper artefact", "tables", "scalars", "elapsed (s)", "created"],
+    )
+    total = 0.0
+    for payload in artifacts:
+        elapsed = float(payload.get("elapsed_seconds", 0.0))
+        total += elapsed
+        table.add_row(
+            str(payload.get("experiment_id")),
+            str(payload.get("artifact", "?")),
+            len(payload.get("tables", [])),
+            len(payload.get("scalars", {})),
+            elapsed,
+            str(payload.get("created", "?")),
+        )
+    print(table.to_text())
+    missing = sorted(
+        set(registry.experiment_ids())
+        - {str(payload.get("experiment_id")) for payload in artifacts}
+    )
+    print(f"\n{len(artifacts)} artifacts, {total:.1f}s total simulated wall-clock")
+    if missing:
+        print(f"missing experiments: {', '.join(missing)}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # bench/pretrain own their argument parsing entirely (they predate the
+    # unified CLI as stand-alone scripts), so dispatch before parsing.
+    if argv and argv[0] == "bench":
+        from repro.cli.bench import main as bench_main
+
+        return bench_main(argv[1:])
+    if argv and argv[0] == "pretrain":
+        from repro.cli.pretrain import main as pretrain_main
+
+        return pretrain_main(argv[1:])
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "list":
+        return _cmd_list()
+    try:
+        if args.command == "run":
+            return _cmd_run(args.ids, args)
+        if args.command == "run-all":
+            return _cmd_run(registry.experiment_ids(), args)
+        if args.command == "report":
+            return _cmd_report(args)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""``repro pretrain`` — offline, one-time training of the Poise model.
+
+This is the GPU-vendor side of the paper's workflow (Section V): profile the
+training benchmarks over the warp-tuple plane, build the training examples,
+fit the two Negative Binomial regressions and serialise the feature weights.
+The resulting JSON is shipped inside the package
+(``src/repro/data/pretrained_model.json``) and plays the role of the
+compiler-provided constant-memory weights of Table II.
+
+Usage::
+
+    python -m repro pretrain [--fast] [--output PATH] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.model_store import save_model
+from repro.core.training import prediction_errors
+from repro.experiments.common import ExperimentConfig, PRETRAINED_MODEL_PATH
+from repro.workloads.registry import training_benchmarks
+
+
+def _jobs_value(raw: str) -> str:
+    """Accept a non-negative integer or 'auto' (rejects typos loudly)."""
+    value = raw.strip().lower()
+    if value == "auto":
+        return value
+    try:
+        if int(value) < 0:
+            raise ValueError
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be a non-negative integer or 'auto', got {raw!r}"
+        )
+    return value
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro pretrain", description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true", help="use the scaled-down test configuration"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=PRETRAINED_MODEL_PATH,
+        help="where to write the trained model JSON",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_value,
+        default=None,
+        metavar="N",
+        help="profile training kernels over N worker processes "
+        "(0 or 'auto' = one per CPU core; overrides REPRO_JOBS)",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = args.jobs
+
+    config = ExperimentConfig.fast() if args.fast else ExperimentConfig.full()
+    pipeline = config.training_pipeline()
+    benchmarks = [
+        config.limited_benchmark(benchmark, training=True)
+        for benchmark in training_benchmarks()
+    ]
+    total_kernels = sum(len(benchmark.kernels) for benchmark in benchmarks)
+    print(f"profiling {total_kernels} training kernels ({config.label} configuration)...")
+
+    start = time.time()
+    examples = pipeline.collect_examples(benchmarks)
+    model = pipeline.fit(examples)
+    elapsed = time.time() - start
+
+    error_n, error_p = prediction_errors(model, examples)
+    print(f"trained on {model.num_training_kernels} admitted kernels in {elapsed:.1f}s")
+    print(f"training-set mean prediction error: N {error_n:.1%}, p {error_p:.1%}")
+    print("feature weights (alpha for N, beta for p):")
+    for index, (alpha, beta) in enumerate(zip(model.alpha_weights, model.beta_weights), start=1):
+        print(f"  x{index}: alpha={alpha:+.6f}  beta={beta:+.6f}")
+
+    path = save_model(model, args.output)
+    print(f"model written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Experiment execution and JSON-artifact I/O for the unified CLI.
+
+One experiment run produces one *artifact*: a JSON document with the
+experiment's tables, scalars and notes plus provenance (config label,
+cache key, package version, wall-clock).  Artifacts live under
+
+    <cache_dir>/artifacts/<label>/<experiment_id>.json
+
+and are written atomically, like the result cache.  The module-level
+:func:`run_experiment_job` is the picklable worker the CLI fans out over
+:class:`~repro.runtime.executor.SweepExecutor` for ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.experiments import registry
+from repro.version import __version__
+
+ARTIFACT_FORMAT_VERSION = 1
+
+
+def artifacts_dir(cache_dir: Union[str, Path], label: str) -> Path:
+    return Path(cache_dir) / "artifacts" / label
+
+
+def artifact_path(cache_dir: Union[str, Path], label: str, experiment_id: str) -> Path:
+    return artifacts_dir(cache_dir, label) / f"{experiment_id}.json"
+
+
+def run_experiment(
+    experiment_id: str,
+    label: str = "full",
+    cache_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run one registered experiment and return its artifact payload."""
+    experiment = registry.get(experiment_id)
+    config = experiment.make_config(label)
+    if cache_dir is not None:
+        config = replace(config, cache_dir=Path(cache_dir))
+    start = time.perf_counter()
+    result = experiment.run(config)
+    elapsed = time.perf_counter() - start
+    payload: Dict[str, object] = {
+        "format_version": ARTIFACT_FORMAT_VERSION,
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds"),
+        "version": __version__,
+        "artifact": experiment.artifact,
+        "title": experiment.title,
+        "config": {"label": config.label, "cache_key": config.cache_key},
+        "elapsed_seconds": round(elapsed, 3),
+    }
+    payload.update(result.to_dict())
+    return payload
+
+
+def run_experiment_job(
+    experiment_id: str, label: str, cache_dir: Optional[str]
+) -> Dict[str, object]:
+    """Module-level sweep worker: one experiment per process."""
+    return run_experiment(experiment_id, label=label, cache_dir=cache_dir)
+
+
+def write_artifact(
+    payload: Dict[str, object], cache_dir: Union[str, Path], label: str
+) -> Path:
+    """Atomically write one artifact; returns the path written."""
+    path = artifact_path(cache_dir, label, str(payload["experiment_id"]))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_artifacts(cache_dir: Union[str, Path], label: str) -> List[Dict[str, object]]:
+    """Every readable artifact under the given cache dir and label, by id."""
+    directory = artifacts_dir(cache_dir, label)
+    artifacts = []
+    if not directory.is_dir():
+        return artifacts
+    for path in sorted(directory.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue  # unreadable artifact: skip, report shows what exists
+        if isinstance(payload, dict) and payload.get("experiment_id"):
+            artifacts.append(payload)
+    return artifacts

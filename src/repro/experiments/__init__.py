@@ -1,14 +1,19 @@
 """Experiment modules — one per table/figure of the paper.
 
-Every module exposes ``run(config: ExperimentConfig | None) -> ExperimentResult``
-and a ``main()`` entry point that prints the result.  The mapping from paper
+Every module defines one :class:`~repro.experiments.common.ExperimentBase`
+subclass (auto-discovered by :mod:`repro.experiments.registry` and exposed
+through ``python -m repro``), plus thin module-level ``run(config)`` /
+``main()`` shims kept for direct scripting.  The mapping from paper
 table/figure to module is recorded in DESIGN.md §4 and EXPERIMENTS.md.
 """
 
 from repro.experiments.common import (
     EVALUATION_SCHEMES,
+    ArtifactSchema,
+    ExperimentBase,
     ExperimentConfig,
     evaluate_schemes,
+    preset_config,
     run_scheme_on_benchmark,
     run_scheme_on_kernel,
     train_or_load_model,
@@ -16,8 +21,11 @@ from repro.experiments.common import (
 
 __all__ = [
     "EVALUATION_SCHEMES",
+    "ArtifactSchema",
+    "ExperimentBase",
     "ExperimentConfig",
     "evaluate_schemes",
+    "preset_config",
     "run_scheme_on_benchmark",
     "run_scheme_on_kernel",
     "train_or_load_model",

@@ -16,6 +16,7 @@ from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.tables import ExperimentResult
 from repro.core.inference import PoiseParameters
 from repro.core.model_store import load_model, save_model
 from repro.core.poise import PoiseController
@@ -54,10 +55,14 @@ EVALUATION_SCHEMES: Tuple[str, ...] = ("gto", "swl", "pcal", "poise", "static_be
 #: equivalent of the vendor-supplied feature weights of Table II).
 PRETRAINED_MODEL_PATH = Path(__file__).resolve().parent.parent / "data" / "pretrained_model.json"
 
-#: Where freshly trained models and other artefacts are cached.
-DEFAULT_CACHE_DIR = Path(
-    os.environ.get("REPRO_CACHE_DIR", Path.home() / ".cache" / "poise-repro")
-)
+def default_cache_dir() -> Path:
+    """Where freshly trained models and other artefacts are cached.
+
+    Resolved at call time (not import time) so ``REPRO_CACHE_DIR`` changes
+    made after the package is imported — e.g. by the CLI's ``--cache-dir``
+    flag or by a test monkeypatching the environment — are honoured.
+    """
+    return Path(os.environ.get("REPRO_CACHE_DIR", Path.home() / ".cache" / "poise-repro"))
 
 
 @dataclass(frozen=True)
@@ -83,7 +88,7 @@ class ExperimentConfig:
     training_min_speedup: Optional[float] = None  # defaults to the Poise threshold
     training_min_hit_rate: Optional[float] = None  # defaults to the Poise threshold
     model_path: Optional[Path] = None
-    cache_dir: Path = DEFAULT_CACHE_DIR
+    cache_dir: Path = field(default_factory=default_cache_dir)
     label: str = "full"
 
     # -- presets -------------------------------------------------------------------
@@ -627,3 +632,109 @@ def evaluation_benchmark_names() -> List[str]:
 
 def compute_benchmark_names() -> List[str]:
     return [benchmark.name for benchmark in compute_intensive_benchmarks()]
+
+
+# ---------------------------------------------------------------------------
+# Experiment descriptors
+# ---------------------------------------------------------------------------
+
+def preset_config(label: str) -> ExperimentConfig:
+    """Resolve a preset name (``fast``/``full``) to a configuration."""
+    label = label.lower()
+    if label == "fast":
+        return ExperimentConfig.fast()
+    if label == "full":
+        return ExperimentConfig.full()
+    raise ValueError(f"unknown configuration preset {label!r} (expected 'fast' or 'full')")
+
+
+@dataclass(frozen=True)
+class ArtifactSchema:
+    """What a well-formed artifact of one experiment must contain.
+
+    Deliberately structural rather than numeric: it checks that the emitted
+    JSON has the tables and scalars the experiment promises (so a refactor
+    that silently drops a series fails loudly), not that the values match
+    the paper — that is the benchmark suite's job.
+    """
+
+    min_tables: int = 1
+    required_scalars: Tuple[str, ...] = ()
+    #: Case-insensitive fragments that must each match some table title.
+    required_tables: Tuple[str, ...] = ()
+
+    def validate(self, payload: Dict[str, object]) -> None:
+        """Raise ``ValueError`` if an artifact payload violates the schema."""
+        tables = payload.get("tables")
+        if not isinstance(tables, list) or len(tables) < self.min_tables:
+            found = len(tables) if isinstance(tables, list) else "none"
+            raise ValueError(f"expected at least {self.min_tables} table(s), found {found}")
+        titles = []
+        for table in tables:
+            if not isinstance(table, dict):
+                raise ValueError("every table must be a JSON object")
+            for key in ("title", "columns", "rows"):
+                if key not in table:
+                    raise ValueError(f"table is missing the {key!r} field")
+            for row in table["rows"]:
+                if len(row) != len(table["columns"]):
+                    raise ValueError(
+                        f"table {table['title']!r} has a row of width {len(row)} "
+                        f"but {len(table['columns'])} columns"
+                    )
+            titles.append(str(table["title"]).lower())
+        for fragment in self.required_tables:
+            if not any(fragment.lower() in title for title in titles):
+                raise ValueError(f"no table title matches {fragment!r}")
+        scalars = payload.get("scalars")
+        if not isinstance(scalars, dict):
+            raise ValueError("artifact payload has no scalars object")
+        missing = [name for name in self.required_scalars if name not in scalars]
+        if missing:
+            raise ValueError(f"missing required scalars: {', '.join(missing)}")
+
+
+class ExperimentBase:
+    """Base class every experiment module derives from.
+
+    A subclass declares its identity (``experiment_id``, the paper
+    ``artifact`` it reproduces, a human ``title``), an :class:`ArtifactSchema`
+    for its output, and implements :meth:`build`.  The registry
+    (:mod:`repro.experiments.registry`) discovers subclasses automatically;
+    the per-module ``main()`` entry points are thin shims over :meth:`cli`.
+    """
+
+    #: Stable identifier, e.g. ``fig07`` — doubles as the CLI/artifact name.
+    experiment_id: str = ""
+    #: The paper artefact reproduced, e.g. ``Figure 7``.
+    artifact: str = ""
+    #: One-line human description.
+    title: str = ""
+    #: Structural expectations for the emitted artifact.
+    schema: ArtifactSchema = ArtifactSchema()
+
+    def build(self, config: ExperimentConfig, **overrides) -> "ExperimentResult":
+        """Produce the experiment's result (implemented by subclasses)."""
+        raise NotImplementedError
+
+    def run(self, config: Optional[ExperimentConfig] = None, **overrides) -> "ExperimentResult":
+        config = config or ExperimentConfig.full()
+        return self.build(config, **overrides)
+
+    @classmethod
+    def cli(cls, argv: Optional[Sequence[str]] = None) -> int:
+        """Stand-alone entry point: ``python -m repro.experiments.<module>``."""
+        import argparse
+
+        parser = argparse.ArgumentParser(description=f"{cls.artifact}: {cls.title}")
+        scale = parser.add_mutually_exclusive_group()
+        scale.add_argument(
+            "--fast", action="store_true", help="use the scaled-down test configuration"
+        )
+        scale.add_argument(
+            "--full", action="store_true", help="use the paper-shaped configuration (default)"
+        )
+        args = parser.parse_args(argv)
+        config = preset_config("fast" if args.fast else "full")
+        print(cls().run(config).to_text())
+        return 0

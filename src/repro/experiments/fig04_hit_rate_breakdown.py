@@ -20,7 +20,7 @@ from dataclasses import replace
 from typing import List, Optional
 
 from repro.analysis.tables import ExperimentResult, Table
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ArtifactSchema, ExperimentBase, ExperimentConfig
 from repro.gpu.gpu import GPU
 from repro.workloads.generator import generate_kernel_programs
 from repro.workloads.registry import get_benchmark
@@ -60,52 +60,67 @@ def _measure(config: ExperimentConfig, benchmark: str) -> dict:
     }
 
 
+class Fig04HitRateBreakdown(ExperimentBase):
+    experiment_id = "fig04"
+    artifact = "Figure 4"
+    title = "L1 hit-rate breakdown at (N=max, p=1) for four workloads"
+    schema = ArtifactSchema(
+        min_tables=1,
+        required_scalars=("ii_delta_hp",),
+        required_tables=("hit-rate breakdown",),
+    )
+
+    def build(
+        self, config: ExperimentConfig, workloads: Optional[List[str]] = None
+    ) -> ExperimentResult:
+        workloads = list(workloads or DEFAULT_WORKLOADS)
+
+        experiment = ExperimentResult(
+            experiment_id="fig04",
+            description="L1 hit rate breakdown for N=max, p=1",
+        )
+        table = experiment.add_table(
+            Table(
+                title="Fig. 4 — hit-rate breakdown at p=1",
+                columns=[
+                    "benchmark",
+                    "h_p",
+                    "h_np",
+                    "h_o (baseline)",
+                    "intra-warp hit share",
+                    "inter-warp hit share",
+                    "reuse distance R",
+                ],
+            )
+        )
+        for name in workloads:
+            row = _measure(config, name)
+            table.add_row(
+                row["benchmark"],
+                row["h_p"],
+                row["h_np"],
+                row["h_o"],
+                row["intra_share"],
+                row["inter_share"],
+                row["reuse_distance"],
+            )
+            experiment.scalars[f"{name}_delta_hp"] = row["h_p"] - row["h_o"]
+        experiment.add_note(
+            "Paper: ii 97% intra-warp hits (R=236), bfs 77% intra (R=1136), syr2k 40% intra "
+            "(R=240), cfd 2% intra (R=3161); large delta h_p for ii/syr2k, small for bfs/cfd."
+        )
+        return experiment
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     workloads: Optional[List[str]] = None,
 ) -> ExperimentResult:
-    config = config or ExperimentConfig.full()
-    workloads = list(workloads or DEFAULT_WORKLOADS)
-
-    experiment = ExperimentResult(
-        experiment_id="fig04",
-        description="L1 hit rate breakdown for N=max, p=1",
-    )
-    table = experiment.add_table(
-        Table(
-            title="Fig. 4 — hit-rate breakdown at p=1",
-            columns=[
-                "benchmark",
-                "h_p",
-                "h_np",
-                "h_o (baseline)",
-                "intra-warp hit share",
-                "inter-warp hit share",
-                "reuse distance R",
-            ],
-        )
-    )
-    for name in workloads:
-        row = _measure(config, name)
-        table.add_row(
-            row["benchmark"],
-            row["h_p"],
-            row["h_np"],
-            row["h_o"],
-            row["intra_share"],
-            row["inter_share"],
-            row["reuse_distance"],
-        )
-        experiment.scalars[f"{name}_delta_hp"] = row["h_p"] - row["h_o"]
-    experiment.add_note(
-        "Paper: ii 97% intra-warp hits (R=236), bfs 77% intra (R=1136), syr2k 40% intra "
-        "(R=240), cfd 2% intra (R=3161); large delta h_p for ii/syr2k, small for bfs/cfd."
-    )
-    return experiment
+    return Fig04HitRateBreakdown().run(config, workloads=workloads)
 
 
 def main() -> None:
-    print(run().to_text())
+    Fig04HitRateBreakdown.cli()
 
 
 if __name__ == "__main__":

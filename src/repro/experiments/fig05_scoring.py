@@ -14,8 +14,13 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.analysis.tables import ExperimentResult, Table
-from repro.core.scoring import best_raw_point, score_grid, select_training_target
-from repro.experiments.common import ExperimentConfig, get_profile
+from repro.core.scoring import best_raw_point, select_training_target
+from repro.experiments.common import (
+    ArtifactSchema,
+    ExperimentBase,
+    ExperimentConfig,
+    get_profile,
+)
 from repro.workloads.registry import get_benchmark
 
 DEFAULT_KERNELS: Tuple[Tuple[str, int], ...] = (("ii", 0), ("ii", 1))
@@ -31,59 +36,72 @@ def _neighbourhood_mean(grid, point) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
+class Fig05Scoring(ExperimentBase):
+    experiment_id = "fig05"
+    artifact = "Figure 5"
+    title = "Scoring performance peaks vs cliffs (Eq. 12)"
+    schema = ArtifactSchema(min_tables=1, required_tables=("raw peak",))
+
+    def build(
+        self,
+        config: ExperimentConfig,
+        kernels: Optional[List[Tuple[str, int]]] = None,
+    ) -> ExperimentResult:
+        kernels = list(kernels or DEFAULT_KERNELS)
+
+        experiment = ExperimentResult(
+            experiment_id="fig05",
+            description="Scoring performance peaks vs cliffs (Eq. 12)",
+        )
+        table = experiment.add_table(
+            Table(
+                title="Fig. 5 — raw peak vs best score",
+                columns=[
+                    "kernel",
+                    "peak (N,p)",
+                    "peak speedup",
+                    "scored (N,p)",
+                    "scored speedup",
+                    "peak nbhd mean",
+                    "scored nbhd mean",
+                ],
+            )
+        )
+        for benchmark_name, kernel_index in kernels:
+            benchmark = get_benchmark(benchmark_name)
+            spec = benchmark.kernels[min(kernel_index, len(benchmark.kernels) - 1)]
+            profile = get_profile(spec, config)
+            grid = profile.speedup_grid()
+            peak = best_raw_point(grid)
+            scored = select_training_target(grid, config.poise_params.scoring_weights)
+            table.add_row(
+                spec.name,
+                str(peak.point),
+                peak.speedup,
+                str(scored.point),
+                scored.speedup,
+                _neighbourhood_mean(grid, peak.point),
+                _neighbourhood_mean(grid, scored.point),
+            )
+            experiment.scalars[f"{spec.name}_peak_speedup"] = peak.speedup
+            experiment.scalars[f"{spec.name}_scored_speedup"] = scored.speedup
+        experiment.add_note(
+            "Paper: ii kernel#34 peak (6,5) 1.08x vs scored (8,8) 1.06x; kernel#35 peak "
+            "(11,4) 1.15x vs scored (7,6) 1.14x — the scored target trades a little speedup "
+            "for distance from cliffs."
+        )
+        return experiment
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     kernels: Optional[List[Tuple[str, int]]] = None,
 ) -> ExperimentResult:
-    config = config or ExperimentConfig.full()
-    kernels = list(kernels or DEFAULT_KERNELS)
-
-    experiment = ExperimentResult(
-        experiment_id="fig05",
-        description="Scoring performance peaks vs cliffs (Eq. 12)",
-    )
-    table = experiment.add_table(
-        Table(
-            title="Fig. 5 — raw peak vs best score",
-            columns=[
-                "kernel",
-                "peak (N,p)",
-                "peak speedup",
-                "scored (N,p)",
-                "scored speedup",
-                "peak nbhd mean",
-                "scored nbhd mean",
-            ],
-        )
-    )
-    for benchmark_name, kernel_index in kernels:
-        benchmark = get_benchmark(benchmark_name)
-        spec = benchmark.kernels[min(kernel_index, len(benchmark.kernels) - 1)]
-        profile = get_profile(spec, config)
-        grid = profile.speedup_grid()
-        peak = best_raw_point(grid)
-        scored = select_training_target(grid, config.poise_params.scoring_weights)
-        table.add_row(
-            spec.name,
-            str(peak.point),
-            peak.speedup,
-            str(scored.point),
-            scored.speedup,
-            _neighbourhood_mean(grid, peak.point),
-            _neighbourhood_mean(grid, scored.point),
-        )
-        experiment.scalars[f"{spec.name}_peak_speedup"] = peak.speedup
-        experiment.scalars[f"{spec.name}_scored_speedup"] = scored.speedup
-    experiment.add_note(
-        "Paper: ii kernel#34 peak (6,5) 1.08x vs scored (8,8) 1.06x; kernel#35 peak "
-        "(11,4) 1.15x vs scored (7,6) 1.14x — the scored target trades a little speedup "
-        "for distance from cliffs."
-    )
-    return experiment
+    return Fig05Scoring().run(config, kernels=kernels)
 
 
 def main() -> None:
-    print(run().to_text())
+    Fig05Scoring.cli()
 
 
 if __name__ == "__main__":

@@ -14,6 +14,8 @@ from typing import Optional
 from repro.analysis.tables import ExperimentResult, Table
 from repro.experiments.common import (
     EVALUATION_SCHEMES,
+    ArtifactSchema,
+    ExperimentBase,
     ExperimentConfig,
     evaluate_schemes,
     evaluation_benchmark_names,
@@ -29,45 +31,61 @@ SCHEME_LABELS = {
 }
 
 
+class Fig07Performance(ExperimentBase):
+    experiment_id = "fig07"
+    artifact = "Figure 7"
+    title = "Performance improvement (IPC normalised to GTO)"
+    schema = ArtifactSchema(
+        min_tables=1,
+        required_scalars=tuple(f"hmean_{scheme}" for scheme in EVALUATION_SCHEMES)
+        + ("max_poise",),
+        required_tables=("IPC normalised to GTO",),
+    )
+
+    def build(self, config: ExperimentConfig) -> ExperimentResult:
+        benchmarks = evaluation_benchmark_names()
+        results = evaluate_schemes(EVALUATION_SCHEMES, config, benchmarks=benchmarks)
+
+        experiment = ExperimentResult(
+            experiment_id="fig07",
+            description="Performance improvement (IPC normalised to GTO)",
+        )
+        table = experiment.add_table(
+            Table(
+                title="Fig. 7 — IPC normalised to GTO",
+                columns=["benchmark"] + [SCHEME_LABELS[s] for s in EVALUATION_SCHEMES],
+            )
+        )
+        for name in benchmarks:
+            table.add_row(
+                name, *[results[scheme][name].speedup for scheme in EVALUATION_SCHEMES]
+            )
+        hmean_row = ["H-Mean"]
+        for scheme in EVALUATION_SCHEMES:
+            speedups = [results[scheme][name].speedup for name in benchmarks]
+            hmean_row.append(harmonic_mean([max(s, 1e-6) for s in speedups]))
+        table.add_row(*hmean_row)
+
+        for scheme in EVALUATION_SCHEMES:
+            experiment.scalars[f"hmean_{scheme}"] = hmean_row[
+                1 + EVALUATION_SCHEMES.index(scheme)
+            ]
+        experiment.scalars["max_poise"] = max(
+            results["poise"][name].speedup for name in benchmarks
+        )
+        experiment.add_note(
+            "Paper: Poise H-mean 1.466 (max 2.94x on mm), PCAL-SWL 1.315, SWL 1.218, "
+            "Static-Best 1.528."
+        )
+        return experiment
+
+
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
-    config = config or ExperimentConfig.full()
-    benchmarks = evaluation_benchmark_names()
-    results = evaluate_schemes(EVALUATION_SCHEMES, config, benchmarks=benchmarks)
-
-    experiment = ExperimentResult(
-        experiment_id="fig07",
-        description="Performance improvement (IPC normalised to GTO)",
-    )
-    table = experiment.add_table(
-        Table(
-            title="Fig. 7 — IPC normalised to GTO",
-            columns=["benchmark"] + [SCHEME_LABELS[s] for s in EVALUATION_SCHEMES],
-        )
-    )
-    for name in benchmarks:
-        table.add_row(
-            name, *[results[scheme][name].speedup for scheme in EVALUATION_SCHEMES]
-        )
-    hmean_row = ["H-Mean"]
-    for scheme in EVALUATION_SCHEMES:
-        speedups = [results[scheme][name].speedup for name in benchmarks]
-        hmean_row.append(harmonic_mean([max(s, 1e-6) for s in speedups]))
-    table.add_row(*hmean_row)
-
-    for scheme in EVALUATION_SCHEMES:
-        experiment.scalars[f"hmean_{scheme}"] = hmean_row[1 + EVALUATION_SCHEMES.index(scheme)]
-    experiment.scalars["max_poise"] = max(
-        results["poise"][name].speedup for name in benchmarks
-    )
-    experiment.add_note(
-        "Paper: Poise H-mean 1.466 (max 2.94x on mm), PCAL-SWL 1.315, SWL 1.218, "
-        "Static-Best 1.528."
-    )
-    return experiment
+    return Fig07Performance().run(config)
 
 
 def main() -> None:
-    print(run().to_text())
+    Fig07Performance.cli()
 
 
 if __name__ == "__main__":

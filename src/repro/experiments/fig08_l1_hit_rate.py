@@ -13,6 +13,8 @@ from typing import Optional
 from repro.analysis.tables import ExperimentResult, Table
 from repro.experiments.common import (
     EVALUATION_SCHEMES,
+    ArtifactSchema,
+    ExperimentBase,
     ExperimentConfig,
     evaluate_schemes,
     evaluation_benchmark_names,
@@ -21,43 +23,61 @@ from repro.experiments.fig07_performance import SCHEME_LABELS
 from repro.profiling.metrics import arithmetic_mean
 
 
-def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
-    config = config or ExperimentConfig.full()
-    benchmarks = evaluation_benchmark_names()
-    results = evaluate_schemes(EVALUATION_SCHEMES, config, benchmarks=benchmarks)
+class Fig08L1HitRate(ExperimentBase):
+    experiment_id = "fig08"
+    artifact = "Figure 8"
+    title = "Absolute L1 hit rate (%) per scheme"
+    schema = ArtifactSchema(
+        min_tables=1,
+        required_scalars=tuple(f"mean_hit_{scheme}" for scheme in EVALUATION_SCHEMES),
+        required_tables=("L1 hit rate",),
+    )
 
-    experiment = ExperimentResult(
-        experiment_id="fig08",
-        description="Absolute L1 hit rate (%) per scheme",
-    )
-    table = experiment.add_table(
-        Table(
-            title="Fig. 8 — L1 hit rate (%)",
-            columns=["benchmark"] + [SCHEME_LABELS[s] for s in EVALUATION_SCHEMES],
-            precision=1,
+    def build(self, config: ExperimentConfig) -> ExperimentResult:
+        benchmarks = evaluation_benchmark_names()
+        results = evaluate_schemes(EVALUATION_SCHEMES, config, benchmarks=benchmarks)
+
+        experiment = ExperimentResult(
+            experiment_id="fig08",
+            description="Absolute L1 hit rate (%) per scheme",
         )
-    )
-    for name in benchmarks:
-        table.add_row(
-            name,
-            *[100.0 * results[scheme][name].l1_hit_rate for scheme in EVALUATION_SCHEMES],
+        table = experiment.add_table(
+            Table(
+                title="Fig. 8 — L1 hit rate (%)",
+                columns=["benchmark"] + [SCHEME_LABELS[s] for s in EVALUATION_SCHEMES],
+                precision=1,
+            )
         )
-    mean_row = ["A-Mean"]
-    for scheme in EVALUATION_SCHEMES:
-        mean_row.append(
-            arithmetic_mean([100.0 * results[scheme][name].l1_hit_rate for name in benchmarks])
+        for name in benchmarks:
+            table.add_row(
+                name,
+                *[
+                    100.0 * results[scheme][name].l1_hit_rate
+                    for scheme in EVALUATION_SCHEMES
+                ],
+            )
+        mean_row = ["A-Mean"]
+        for scheme in EVALUATION_SCHEMES:
+            mean_row.append(
+                arithmetic_mean(
+                    [100.0 * results[scheme][name].l1_hit_rate for name in benchmarks]
+                )
+            )
+        table.add_row(*mean_row)
+        for index, scheme in enumerate(EVALUATION_SCHEMES):
+            experiment.scalars[f"mean_hit_{scheme}"] = mean_row[1 + index]
+        experiment.add_note(
+            "Paper averages: GTO 20.6%, SWL 37.7%, PCAL-SWL 27.1%, Poise 40.1%, Static-Best 43.6%."
         )
-    table.add_row(*mean_row)
-    for index, scheme in enumerate(EVALUATION_SCHEMES):
-        experiment.scalars[f"mean_hit_{scheme}"] = mean_row[1 + index]
-    experiment.add_note(
-        "Paper averages: GTO 20.6%, SWL 37.7%, PCAL-SWL 27.1%, Poise 40.1%, Static-Best 43.6%."
-    )
-    return experiment
+        return experiment
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    return Fig08L1HitRate().run(config)
 
 
 def main() -> None:
-    print(run().to_text())
+    Fig08L1HitRate.cli()
 
 
 if __name__ == "__main__":

@@ -14,6 +14,8 @@ from typing import Optional
 
 from repro.analysis.tables import ExperimentResult, Table
 from repro.experiments.common import (
+    ArtifactSchema,
+    ExperimentBase,
     ExperimentConfig,
     evaluation_benchmark_names,
     run_scheme_on_benchmark,
@@ -22,48 +24,70 @@ from repro.experiments.common import (
 from repro.profiling.metrics import arithmetic_mean
 
 
-def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
-    config = config or ExperimentConfig.full()
-    model = train_or_load_model(config)
-    benchmarks = evaluation_benchmark_names()
+class Fig10Displacement(ExperimentBase):
+    experiment_id = "fig10"
+    artifact = "Figure 10"
+    title = "Displacement between predicted and converged warp-tuples"
+    schema = ArtifactSchema(
+        min_tables=1,
+        required_scalars=(
+            "mean_displacement_n",
+            "mean_displacement_p",
+            "mean_displacement_euclidean",
+        ),
+        required_tables=("displacement",),
+    )
 
-    experiment = ExperimentResult(
-        experiment_id="fig10",
-        description="Displacement between predicted and converged warp-tuples",
-    )
-    table = experiment.add_table(
-        Table(
-            title="Fig. 10 — absolute displacement",
-            columns=["benchmark", "N-axis", "p-axis", "Euclidean"],
+    def build(self, config: ExperimentConfig) -> ExperimentResult:
+        model = train_or_load_model(config)
+        benchmarks = evaluation_benchmark_names()
+
+        experiment = ExperimentResult(
+            experiment_id="fig10",
+            description="Displacement between predicted and converged warp-tuples",
         )
-    )
-    means_n, means_p, means_e = [], [], []
-    for name in benchmarks:
-        outcome = run_scheme_on_benchmark("poise", name, config, model=model)
-        per_kernel_n, per_kernel_p, per_kernel_e = [], [], []
-        for telemetry in outcome.telemetry.values():
-            per_kernel_n.append(telemetry.get("mean_displacement_n", 0.0))
-            per_kernel_p.append(telemetry.get("mean_displacement_p", 0.0))
-            per_kernel_e.append(telemetry.get("mean_displacement_euclidean", 0.0))
-        row_n = arithmetic_mean(per_kernel_n) if per_kernel_n else 0.0
-        row_p = arithmetic_mean(per_kernel_p) if per_kernel_p else 0.0
-        row_e = arithmetic_mean(per_kernel_e) if per_kernel_e else 0.0
-        means_n.append(row_n)
-        means_p.append(row_p)
-        means_e.append(row_e)
-        table.add_row(name, row_n, row_p, row_e)
-    table.add_row("A-Mean", arithmetic_mean(means_n), arithmetic_mean(means_p), arithmetic_mean(means_e))
-    experiment.scalars["mean_displacement_n"] = arithmetic_mean(means_n)
-    experiment.scalars["mean_displacement_p"] = arithmetic_mean(means_p)
-    experiment.scalars["mean_displacement_euclidean"] = arithmetic_mean(means_e)
-    experiment.add_note(
-        "Paper averages: 1.02 (N-axis), 0.87 (p-axis), 1.59 (Euclidean)."
-    )
-    return experiment
+        table = experiment.add_table(
+            Table(
+                title="Fig. 10 — absolute displacement",
+                columns=["benchmark", "N-axis", "p-axis", "Euclidean"],
+            )
+        )
+        means_n, means_p, means_e = [], [], []
+        for name in benchmarks:
+            outcome = run_scheme_on_benchmark("poise", name, config, model=model)
+            per_kernel_n, per_kernel_p, per_kernel_e = [], [], []
+            for telemetry in outcome.telemetry.values():
+                per_kernel_n.append(telemetry.get("mean_displacement_n", 0.0))
+                per_kernel_p.append(telemetry.get("mean_displacement_p", 0.0))
+                per_kernel_e.append(telemetry.get("mean_displacement_euclidean", 0.0))
+            row_n = arithmetic_mean(per_kernel_n) if per_kernel_n else 0.0
+            row_p = arithmetic_mean(per_kernel_p) if per_kernel_p else 0.0
+            row_e = arithmetic_mean(per_kernel_e) if per_kernel_e else 0.0
+            means_n.append(row_n)
+            means_p.append(row_p)
+            means_e.append(row_e)
+            table.add_row(name, row_n, row_p, row_e)
+        table.add_row(
+            "A-Mean",
+            arithmetic_mean(means_n),
+            arithmetic_mean(means_p),
+            arithmetic_mean(means_e),
+        )
+        experiment.scalars["mean_displacement_n"] = arithmetic_mean(means_n)
+        experiment.scalars["mean_displacement_p"] = arithmetic_mean(means_p)
+        experiment.scalars["mean_displacement_euclidean"] = arithmetic_mean(means_e)
+        experiment.add_note(
+            "Paper averages: 1.02 (N-axis), 0.87 (p-axis), 1.59 (Euclidean)."
+        )
+        return experiment
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    return Fig10Displacement().run(config)
 
 
 def main() -> None:
-    print(run().to_text())
+    Fig10Displacement.cli()
 
 
 if __name__ == "__main__":

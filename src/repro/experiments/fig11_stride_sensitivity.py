@@ -13,6 +13,8 @@ from typing import List, Optional, Tuple
 
 from repro.analysis.tables import ExperimentResult, Table
 from repro.experiments.common import (
+    ArtifactSchema,
+    ExperimentBase,
     ExperimentConfig,
     evaluation_benchmark_names,
     run_scheme_on_benchmark,
@@ -23,48 +25,65 @@ from repro.profiling.metrics import harmonic_mean
 DEFAULT_STRIDES: Tuple[Tuple[int, int], ...] = ((0, 0), (1, 1), (2, 2), (2, 4), (4, 4))
 
 
+class Fig11StrideSensitivity(ExperimentBase):
+    experiment_id = "fig11"
+    artifact = "Figure 11"
+    title = "Sensitivity to local-search stride (εN, εp)"
+    schema = ArtifactSchema(
+        min_tables=1,
+        required_scalars=tuple(f"hmean_{n}_{p}" for n, p in DEFAULT_STRIDES),
+        required_tables=("per stride",),
+    )
+
+    def build(
+        self,
+        config: ExperimentConfig,
+        strides: Optional[List[Tuple[int, int]]] = None,
+    ) -> ExperimentResult:
+        strides = list(strides or DEFAULT_STRIDES)
+        model = train_or_load_model(config)
+        benchmarks = evaluation_benchmark_names()
+
+        experiment = ExperimentResult(
+            experiment_id="fig11",
+            description="Sensitivity to local-search stride (εN, εp)",
+        )
+        table = experiment.add_table(
+            Table(
+                title="Fig. 11 — IPC normalised to GTO per stride",
+                columns=["benchmark"] + [f"({n},{p})" for n, p in strides],
+            )
+        )
+        per_stride: dict = {stride: [] for stride in strides}
+        for name in benchmarks:
+            row = [name]
+            for stride in strides:
+                stride_config = config.with_poise_params(
+                    config.poise_params.with_strides(*stride)
+                )
+                outcome = run_scheme_on_benchmark("poise", name, stride_config, model=model)
+                row.append(outcome.speedup)
+                per_stride[stride].append(max(outcome.speedup, 1e-6))
+            table.add_row(*row)
+        hmean_row = ["H-Mean"] + [harmonic_mean(per_stride[stride]) for stride in strides]
+        table.add_row(*hmean_row)
+        for stride, value in zip(strides, hmean_row[1:]):
+            experiment.scalars[f"hmean_{stride[0]}_{stride[1]}"] = value
+        experiment.add_note(
+            "Paper harmonic means: (0,0) 1.23, (1,1) 1.436, (2,2) 1.457, (2,4) 1.466, (4,4) 1.45."
+        )
+        return experiment
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     strides: Optional[List[Tuple[int, int]]] = None,
 ) -> ExperimentResult:
-    config = config or ExperimentConfig.full()
-    strides = list(strides or DEFAULT_STRIDES)
-    model = train_or_load_model(config)
-    benchmarks = evaluation_benchmark_names()
-
-    experiment = ExperimentResult(
-        experiment_id="fig11",
-        description="Sensitivity to local-search stride (εN, εp)",
-    )
-    table = experiment.add_table(
-        Table(
-            title="Fig. 11 — IPC normalised to GTO per stride",
-            columns=["benchmark"] + [f"({n},{p})" for n, p in strides],
-        )
-    )
-    per_stride: dict = {stride: [] for stride in strides}
-    for name in benchmarks:
-        row = [name]
-        for stride in strides:
-            stride_config = config.with_poise_params(
-                config.poise_params.with_strides(*stride)
-            )
-            outcome = run_scheme_on_benchmark("poise", name, stride_config, model=model)
-            row.append(outcome.speedup)
-            per_stride[stride].append(max(outcome.speedup, 1e-6))
-        table.add_row(*row)
-    hmean_row = ["H-Mean"] + [harmonic_mean(per_stride[stride]) for stride in strides]
-    table.add_row(*hmean_row)
-    for stride, value in zip(strides, hmean_row[1:]):
-        experiment.scalars[f"hmean_{stride[0]}_{stride[1]}"] = value
-    experiment.add_note(
-        "Paper harmonic means: (0,0) 1.23, (1,1) 1.436, (2,2) 1.457, (2,4) 1.466, (4,4) 1.45."
-    )
-    return experiment
+    return Fig11StrideSensitivity().run(config, strides=strides)
 
 
 def main() -> None:
-    print(run().to_text())
+    Fig11StrideSensitivity.cli()
 
 
 if __name__ == "__main__":

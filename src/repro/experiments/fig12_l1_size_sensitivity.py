@@ -14,6 +14,8 @@ from typing import List, Optional
 
 from repro.analysis.tables import ExperimentResult, Table
 from repro.experiments.common import (
+    ArtifactSchema,
+    ExperimentBase,
     ExperimentConfig,
     evaluation_benchmark_names,
     run_scheme_on_benchmark,
@@ -24,52 +26,67 @@ from repro.profiling.metrics import harmonic_mean
 DEFAULT_SCALES = (1, 2, 4)  # 16 KB, 32 KB, 64 KB
 
 
+class Fig12L1SizeSensitivity(ExperimentBase):
+    experiment_id = "fig12"
+    artifact = "Figure 12"
+    title = "Sensitivity to L1 cache size (linear indexing, pre-trained model)"
+    schema = ArtifactSchema(
+        min_tables=1,
+        required_scalars=tuple(f"hmean_{16 * scale}KB" for scale in DEFAULT_SCALES),
+        required_tables=("same-size GTO baseline",),
+    )
+
+    def build(
+        self, config: ExperimentConfig, scales: Optional[List[int]] = None
+    ) -> ExperimentResult:
+        scales = list(scales or DEFAULT_SCALES)
+        # The model is trained on the baseline (hash-indexed 16 KB) platform.
+        model = train_or_load_model(config)
+        benchmarks = evaluation_benchmark_names()
+
+        experiment = ExperimentResult(
+            experiment_id="fig12",
+            description="Sensitivity to L1 cache size (linear indexing, pre-trained model)",
+        )
+        size_labels = [f"Poise+{16 * scale}KB" for scale in scales]
+        table = experiment.add_table(
+            Table(
+                title="Fig. 12 — IPC normalised to the same-size GTO baseline",
+                columns=["benchmark"] + size_labels,
+            )
+        )
+        per_scale: dict = {scale: [] for scale in scales}
+        for name in benchmarks:
+            row = [name]
+            for scale in scales:
+                gpu = config.gpu.with_l1(
+                    size_bytes=config.gpu.l1.size_bytes * scale, indexing="linear"
+                )
+                scaled_config = config.with_gpu(gpu)
+                outcome = run_scheme_on_benchmark("poise", name, scaled_config, model=model)
+                row.append(outcome.speedup)
+                per_scale[scale].append(max(outcome.speedup, 1e-6))
+            table.add_row(*row)
+        hmean_row = ["H-Mean"] + [harmonic_mean(per_scale[scale]) for scale in scales]
+        table.add_row(*hmean_row)
+        for scale, value in zip(scales, hmean_row[1:]):
+            experiment.scalars[f"hmean_{16 * scale}KB"] = value
+        experiment.add_note(
+            "Paper harmonic means: 1.48 at 16 KB, declining to 1.367 at 64 KB — Poise keeps "
+            "helping on larger linearly-indexed caches despite being trained elsewhere."
+        )
+        return experiment
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     scales: Optional[List[int]] = None,
 ) -> ExperimentResult:
-    config = config or ExperimentConfig.full()
-    scales = list(scales or DEFAULT_SCALES)
-    # The model is trained on the baseline (hash-indexed 16 KB) platform.
-    model = train_or_load_model(config)
-    benchmarks = evaluation_benchmark_names()
-
-    experiment = ExperimentResult(
-        experiment_id="fig12",
-        description="Sensitivity to L1 cache size (linear indexing, pre-trained model)",
-    )
-    size_labels = [f"Poise+{16 * scale}KB" for scale in scales]
-    table = experiment.add_table(
-        Table(
-            title="Fig. 12 — IPC normalised to the same-size GTO baseline",
-            columns=["benchmark"] + size_labels,
-        )
-    )
-    per_scale: dict = {scale: [] for scale in scales}
-    for name in benchmarks:
-        row = [name]
-        for scale in scales:
-            gpu = config.gpu.with_l1(
-                size_bytes=config.gpu.l1.size_bytes * scale, indexing="linear"
-            )
-            scaled_config = config.with_gpu(gpu)
-            outcome = run_scheme_on_benchmark("poise", name, scaled_config, model=model)
-            row.append(outcome.speedup)
-            per_scale[scale].append(max(outcome.speedup, 1e-6))
-        table.add_row(*row)
-    hmean_row = ["H-Mean"] + [harmonic_mean(per_scale[scale]) for scale in scales]
-    table.add_row(*hmean_row)
-    for scale, value in zip(scales, hmean_row[1:]):
-        experiment.scalars[f"hmean_{16 * scale}KB"] = value
-    experiment.add_note(
-        "Paper harmonic means: 1.48 at 16 KB, declining to 1.367 at 64 KB — Poise keeps "
-        "helping on larger linearly-indexed caches despite being trained elsewhere."
-    )
-    return experiment
+    return Fig12L1SizeSensitivity().run(config, scales=scales)
 
 
 def main() -> None:
-    print(run().to_text())
+    Fig12L1SizeSensitivity.cli()
 
 
 if __name__ == "__main__":

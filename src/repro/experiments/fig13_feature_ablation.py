@@ -16,6 +16,8 @@ from typing import List, Optional
 
 from repro.analysis.tables import ExperimentResult, Table
 from repro.experiments.common import (
+    ArtifactSchema,
+    ExperimentBase,
     ExperimentConfig,
     evaluation_benchmark_names,
     run_scheme_on_benchmark,
@@ -27,66 +29,81 @@ from repro.profiling.metrics import harmonic_mean
 DEFAULT_ABLATIONS = (6, 5, 4, 3, 2)  # x7, x6, x5, x4, x3
 
 
+class Fig13FeatureAblation(ExperimentBase):
+    experiment_id = "fig13"
+    artifact = "Figure 13"
+    title = "Sensitivity to removing a feature from X (retrained, no local search)"
+    schema = ArtifactSchema(
+        min_tables=1,
+        required_scalars=tuple(f"hmean_minus_x{index + 1}" for index in DEFAULT_ABLATIONS),
+        required_tables=("all-features",),
+    )
+
+    def build(
+        self, config: ExperimentConfig, ablations: Optional[List[int]] = None
+    ) -> ExperimentResult:
+        ablations = list(ablations or DEFAULT_ABLATIONS)
+        benchmarks = evaluation_benchmark_names()
+
+        experiment = ExperimentResult(
+            experiment_id="fig13",
+            description="Sensitivity to removing a feature from X (retrained, no local search)",
+        )
+        columns = ["benchmark", "all"] + [f"-x{index + 1}" for index in ablations]
+        table = experiment.add_table(
+            Table(title="Fig. 13 — IPC normalised to the all-features model", columns=columns)
+        )
+
+        # Reference: all features, no local search (so the comparison isolates
+        # prediction accuracy exactly as the paper does).
+        full_model = train_or_load_model(config)
+        reference: dict = {}
+        for name in benchmarks:
+            reference[name] = run_scheme_on_benchmark(
+                "poise_nosearch", name, config, model=full_model
+            ).speedup
+
+        ablated_speedups: dict = {index: {} for index in ablations}
+        for index in ablations:
+            ablated_model = train_or_load_model(config, feature_mask=[index])
+            for name in benchmarks:
+                ablated_speedups[index][name] = run_scheme_on_benchmark(
+                    "poise_nosearch", name, config, model=ablated_model
+                ).speedup
+
+        per_column: dict = {"all": []}
+        for index in ablations:
+            per_column[index] = []
+        for name in benchmarks:
+            row = [name, 1.0]
+            per_column["all"].append(1.0)
+            for index in ablations:
+                normalised = (
+                    ablated_speedups[index][name] / reference[name] if reference[name] else 0.0
+                )
+                row.append(normalised)
+                per_column[index].append(max(normalised, 1e-6))
+            table.add_row(*row)
+        hmean_row = ["H-Mean", 1.0] + [harmonic_mean(per_column[index]) for index in ablations]
+        table.add_row(*hmean_row)
+        for index, value in zip(ablations, hmean_row[2:]):
+            experiment.scalars[f"hmean_minus_x{index + 1}"] = value
+        experiment.add_note(
+            "Paper: harmonic-mean slowdown from 1.5% (-x7) to 21.7% (-x6); all-features "
+            "training is best."
+        )
+        return experiment
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     ablations: Optional[List[int]] = None,
 ) -> ExperimentResult:
-    config = config or ExperimentConfig.full()
-    ablations = list(ablations or DEFAULT_ABLATIONS)
-    benchmarks = evaluation_benchmark_names()
-
-    experiment = ExperimentResult(
-        experiment_id="fig13",
-        description="Sensitivity to removing a feature from X (retrained, no local search)",
-    )
-    columns = ["benchmark", "all"] + [f"-x{index + 1}" for index in ablations]
-    table = experiment.add_table(
-        Table(title="Fig. 13 — IPC normalised to the all-features model", columns=columns)
-    )
-
-    # Reference: all features, no local search (so the comparison isolates
-    # prediction accuracy exactly as the paper does).
-    full_model = train_or_load_model(config)
-    reference: dict = {}
-    for name in benchmarks:
-        reference[name] = run_scheme_on_benchmark(
-            "poise_nosearch", name, config, model=full_model
-        ).speedup
-
-    ablated_speedups: dict = {index: {} for index in ablations}
-    for index in ablations:
-        ablated_model = train_or_load_model(config, feature_mask=[index])
-        for name in benchmarks:
-            ablated_speedups[index][name] = run_scheme_on_benchmark(
-                "poise_nosearch", name, config, model=ablated_model
-            ).speedup
-
-    per_column: dict = {"all": []}
-    for index in ablations:
-        per_column[index] = []
-    for name in benchmarks:
-        row = [name, 1.0]
-        per_column["all"].append(1.0)
-        for index in ablations:
-            normalised = (
-                ablated_speedups[index][name] / reference[name] if reference[name] else 0.0
-            )
-            row.append(normalised)
-            per_column[index].append(max(normalised, 1e-6))
-        table.add_row(*row)
-    hmean_row = ["H-Mean", 1.0] + [harmonic_mean(per_column[index]) for index in ablations]
-    table.add_row(*hmean_row)
-    for index, value in zip(ablations, hmean_row[2:]):
-        experiment.scalars[f"hmean_minus_x{index + 1}"] = value
-    experiment.add_note(
-        "Paper: harmonic-mean slowdown from 1.5% (-x7) to 21.7% (-x6); all-features "
-        "training is best."
-    )
-    return experiment
+    return Fig13FeatureAblation().run(config, ablations=ablations)
 
 
 def main() -> None:
-    print(run().to_text())
+    Fig13FeatureAblation.cli()
 
 
 if __name__ == "__main__":

@@ -13,6 +13,8 @@ from typing import Optional
 
 from repro.analysis.tables import ExperimentResult, Table
 from repro.experiments.common import (
+    ArtifactSchema,
+    ExperimentBase,
     ExperimentConfig,
     evaluate_schemes,
     evaluation_benchmark_names,
@@ -20,37 +22,50 @@ from repro.experiments.common import (
 from repro.profiling.metrics import arithmetic_mean
 
 
-def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
-    config = config or ExperimentConfig.full()
-    benchmarks = evaluation_benchmark_names()
-    results = evaluate_schemes(("gto", "poise"), config, benchmarks=benchmarks)
+class Fig14Energy(ExperimentBase):
+    experiment_id = "fig14"
+    artifact = "Figure 14"
+    title = "Energy consumption normalised to GTO"
+    schema = ArtifactSchema(
+        min_tables=1,
+        required_scalars=("mean_energy_ratio", "min_energy_ratio"),
+        required_tables=("Energy",),
+    )
 
-    experiment = ExperimentResult(
-        experiment_id="fig14",
-        description="Energy consumption normalised to GTO",
-    )
-    table = experiment.add_table(
-        Table(
-            title="Fig. 14 — Energy (normalised to GTO)",
-            columns=["benchmark", "GTO", "Poise"],
+    def build(self, config: ExperimentConfig) -> ExperimentResult:
+        benchmarks = evaluation_benchmark_names()
+        results = evaluate_schemes(("gto", "poise"), config, benchmarks=benchmarks)
+
+        experiment = ExperimentResult(
+            experiment_id="fig14",
+            description="Energy consumption normalised to GTO",
         )
-    )
-    ratios = []
-    for name in benchmarks:
-        ratio = results["poise"][name].energy_ratio
-        ratios.append(ratio)
-        table.add_row(name, 1.0, ratio)
-    table.add_row("A-Mean", 1.0, arithmetic_mean(ratios))
-    experiment.scalars["mean_energy_ratio"] = arithmetic_mean(ratios)
-    experiment.scalars["min_energy_ratio"] = min(ratios)
-    experiment.add_note(
-        "Paper: Poise reduces energy by 51.6% on average (ratio 0.484), up to 79.4% on mm."
-    )
-    return experiment
+        table = experiment.add_table(
+            Table(
+                title="Fig. 14 — Energy (normalised to GTO)",
+                columns=["benchmark", "GTO", "Poise"],
+            )
+        )
+        ratios = []
+        for name in benchmarks:
+            ratio = results["poise"][name].energy_ratio
+            ratios.append(ratio)
+            table.add_row(name, 1.0, ratio)
+        table.add_row("A-Mean", 1.0, arithmetic_mean(ratios))
+        experiment.scalars["mean_energy_ratio"] = arithmetic_mean(ratios)
+        experiment.scalars["min_energy_ratio"] = min(ratios)
+        experiment.add_note(
+            "Paper: Poise reduces energy by 51.6% on average (ratio 0.484), up to 79.4% on mm."
+        )
+        return experiment
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    return Fig14Energy().run(config)
 
 
 def main() -> None:
-    print(run().to_text())
+    Fig14Energy.cli()
 
 
 if __name__ == "__main__":

@@ -18,6 +18,8 @@ from typing import Optional
 
 from repro.analysis.tables import ExperimentResult, Table
 from repro.experiments.common import (
+    ArtifactSchema,
+    ExperimentBase,
     ExperimentConfig,
     evaluate_schemes,
     evaluation_benchmark_names,
@@ -33,39 +35,54 @@ LABELS = {
 }
 
 
-def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
-    config = config or ExperimentConfig.full()
-    benchmarks = evaluation_benchmark_names()
-    results = evaluate_schemes(SCHEMES, config, benchmarks=benchmarks)
+class Fig15ApcmRandomRestart(ExperimentBase):
+    experiment_id = "fig15"
+    artifact = "Figure 15"
+    title = "Poise vs APCM and random-restart search"
+    schema = ArtifactSchema(
+        min_tables=1,
+        required_scalars=tuple(f"hmean_{scheme}" for scheme in SCHEMES),
+        required_tables=("IPC normalised to GTO",),
+    )
 
-    experiment = ExperimentResult(
-        experiment_id="fig15",
-        description="Poise vs APCM and random-restart search",
-    )
-    table = experiment.add_table(
-        Table(
-            title="Fig. 15 — IPC normalised to GTO",
-            columns=["benchmark"] + [LABELS[s] for s in SCHEMES],
+    def build(self, config: ExperimentConfig) -> ExperimentResult:
+        benchmarks = evaluation_benchmark_names()
+        results = evaluate_schemes(SCHEMES, config, benchmarks=benchmarks)
+
+        experiment = ExperimentResult(
+            experiment_id="fig15",
+            description="Poise vs APCM and random-restart search",
         )
-    )
-    for name in benchmarks:
-        table.add_row(name, *[results[scheme][name].speedup for scheme in SCHEMES])
-    hmean_row = ["H-Mean"]
-    for scheme in SCHEMES:
-        hmean_row.append(
-            harmonic_mean([max(results[scheme][name].speedup, 1e-6) for name in benchmarks])
+        table = experiment.add_table(
+            Table(
+                title="Fig. 15 — IPC normalised to GTO",
+                columns=["benchmark"] + [LABELS[s] for s in SCHEMES],
+            )
         )
-    table.add_row(*hmean_row)
-    for scheme, value in zip(SCHEMES, hmean_row[1:]):
-        experiment.scalars[f"hmean_{scheme}"] = value
-    experiment.add_note(
-        "Paper: Poise outperforms APCM by 39.5% and random-restart search by 22.4% on average."
-    )
-    return experiment
+        for name in benchmarks:
+            table.add_row(name, *[results[scheme][name].speedup for scheme in SCHEMES])
+        hmean_row = ["H-Mean"]
+        for scheme in SCHEMES:
+            hmean_row.append(
+                harmonic_mean(
+                    [max(results[scheme][name].speedup, 1e-6) for name in benchmarks]
+                )
+            )
+        table.add_row(*hmean_row)
+        for scheme, value in zip(SCHEMES, hmean_row[1:]):
+            experiment.scalars[f"hmean_{scheme}"] = value
+        experiment.add_note(
+            "Paper: Poise outperforms APCM by 39.5% and random-restart search by 22.4% on average."
+        )
+        return experiment
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    return Fig15ApcmRandomRestart().run(config)
 
 
 def main() -> None:
-    print(run().to_text())
+    Fig15ApcmRandomRestart.cli()
 
 
 if __name__ == "__main__":

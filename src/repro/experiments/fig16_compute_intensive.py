@@ -15,6 +15,8 @@ from typing import Optional
 
 from repro.analysis.tables import ExperimentResult, Table
 from repro.experiments.common import (
+    ArtifactSchema,
+    ExperimentBase,
     ExperimentConfig,
     compute_benchmark_names,
     run_scheme_on_benchmark,
@@ -25,44 +27,63 @@ from repro.profiling.profiler import measure_pbest
 from repro.workloads.registry import get_benchmark
 
 
-def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
-    config = config or ExperimentConfig.full()
-    model = train_or_load_model(config)
-    benchmarks = compute_benchmark_names()
+class Fig16ComputeIntensive(ExperimentBase):
+    experiment_id = "fig16"
+    artifact = "Figure 16"
+    title = "Poise on memory-insensitive applications"
+    schema = ArtifactSchema(
+        min_tables=1,
+        required_scalars=("hmean_poise", "min_poise"),
+        required_tables=("compute-intensive",),
+    )
 
-    experiment = ExperimentResult(
-        experiment_id="fig16",
-        description="Poise on memory-insensitive applications",
-    )
-    table = experiment.add_table(
-        Table(
-            title="Fig. 16 — IPC normalised to GTO (compute-intensive apps)",
-            columns=["benchmark", "GTO", "Poise", "Pbest (64x L1)", "compute-intensive epochs"],
+    def build(self, config: ExperimentConfig) -> ExperimentResult:
+        model = train_or_load_model(config)
+        benchmarks = compute_benchmark_names()
+
+        experiment = ExperimentResult(
+            experiment_id="fig16",
+            description="Poise on memory-insensitive applications",
         )
-    )
-    speedups = []
-    for name in benchmarks:
-        outcome = run_scheme_on_benchmark("poise", name, config, model=model)
-        spec = get_benchmark(name).kernels[0]
-        pbest = measure_pbest(spec, config.gpu, cycles=config.profile_cycles)
-        bypassed = sum(
-            telemetry.get("compute_intensive_epochs", 0)
-            for telemetry in outcome.telemetry.values()
+        table = experiment.add_table(
+            Table(
+                title="Fig. 16 — IPC normalised to GTO (compute-intensive apps)",
+                columns=[
+                    "benchmark",
+                    "GTO",
+                    "Poise",
+                    "Pbest (64x L1)",
+                    "compute-intensive epochs",
+                ],
+            )
         )
-        speedups.append(max(outcome.speedup, 1e-6))
-        table.add_row(name, 1.0, outcome.speedup, pbest, bypassed)
-    table.add_row("H-Mean", 1.0, harmonic_mean(speedups), float("nan"), 0)
-    experiment.scalars["hmean_poise"] = harmonic_mean(speedups)
-    experiment.scalars["min_poise"] = min(speedups)
-    experiment.add_note(
-        "Paper: 1.6% average overhead, 3.5% worst case (sradv2); Poise reverts to "
-        "maximum warps when In exceeds the Imax cut-off."
-    )
-    return experiment
+        speedups = []
+        for name in benchmarks:
+            outcome = run_scheme_on_benchmark("poise", name, config, model=model)
+            spec = get_benchmark(name).kernels[0]
+            pbest = measure_pbest(spec, config.gpu, cycles=config.profile_cycles)
+            bypassed = sum(
+                telemetry.get("compute_intensive_epochs", 0)
+                for telemetry in outcome.telemetry.values()
+            )
+            speedups.append(max(outcome.speedup, 1e-6))
+            table.add_row(name, 1.0, outcome.speedup, pbest, bypassed)
+        table.add_row("H-Mean", 1.0, harmonic_mean(speedups), float("nan"), 0)
+        experiment.scalars["hmean_poise"] = harmonic_mean(speedups)
+        experiment.scalars["min_poise"] = min(speedups)
+        experiment.add_note(
+            "Paper: 1.6% average overhead, 3.5% worst case (sradv2); Poise reverts to "
+            "maximum warps when In exceeds the Imax cut-off."
+        )
+        return experiment
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    return Fig16ComputeIntensive().run(config)
 
 
 def main() -> None:
-    print(run().to_text())
+    Fig16ComputeIntensive.cli()
 
 
 if __name__ == "__main__":

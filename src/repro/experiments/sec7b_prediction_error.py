@@ -14,6 +14,8 @@ from typing import Optional
 from repro.analysis.tables import ExperimentResult, Table
 from repro.core.scoring import select_training_target
 from repro.experiments.common import (
+    ArtifactSchema,
+    ExperimentBase,
     ExperimentConfig,
     get_profile,
     train_or_load_model,
@@ -22,46 +24,59 @@ from repro.profiling.metrics import arithmetic_mean
 from repro.workloads.registry import evaluation_benchmarks
 
 
-def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
-    config = config or ExperimentConfig.full()
-    model = train_or_load_model(config)
-    pipeline = config.training_pipeline()
+class Sec7bPredictionError(ExperimentBase):
+    experiment_id = "sec7b"
+    artifact = "Section VII-B"
+    title = "Offline prediction error on unseen (evaluation) kernels"
+    schema = ArtifactSchema(
+        min_tables=1,
+        required_scalars=("mean_error_n", "mean_error_p"),
+        required_tables=("prediction error",),
+    )
 
-    experiment = ExperimentResult(
-        experiment_id="sec7b",
-        description="Offline prediction error on unseen (evaluation) kernels",
-    )
-    table = experiment.add_table(
-        Table(
-            title="Sec. VII-B — per-kernel prediction error",
-            columns=["kernel", "target (N,p)", "predicted (N,p)", "error N", "error p"],
+    def build(self, config: ExperimentConfig) -> ExperimentResult:
+        model = train_or_load_model(config)
+        pipeline = config.training_pipeline()
+
+        experiment = ExperimentResult(
+            experiment_id="sec7b",
+            description="Offline prediction error on unseen (evaluation) kernels",
         )
-    )
-    errors_n, errors_p = [], []
-    for benchmark in evaluation_benchmarks():
-        for spec in config.limited_kernels(benchmark):
-            profile = get_profile(spec, config)
-            target = select_training_target(
-                profile.speedup_grid(), config.poise_params.scoring_weights
+        table = experiment.add_table(
+            Table(
+                title="Sec. VII-B — per-kernel prediction error",
+                columns=["kernel", "target (N,p)", "predicted (N,p)", "error N", "error p"],
             )
-            features = pipeline.sample_features(spec)
-            predicted = model.predict(features, max_warps=profile.max_warps)
-            error_n = abs(predicted[0] - target.point[0]) / max(1, target.point[0])
-            error_p = abs(predicted[1] - target.point[1]) / max(1, target.point[1])
-            errors_n.append(error_n)
-            errors_p.append(error_p)
-            table.add_row(spec.name, str(target.point), str(predicted), error_n, error_p)
-    table.add_row(
-        "MEAN", "", "", arithmetic_mean(errors_n), arithmetic_mean(errors_p)
-    )
-    experiment.scalars["mean_error_n"] = arithmetic_mean(errors_n)
-    experiment.scalars["mean_error_p"] = arithmetic_mean(errors_p)
-    experiment.add_note("Paper: mean prediction error 16% for N and 26% for p.")
-    return experiment
+        )
+        errors_n, errors_p = [], []
+        for benchmark in evaluation_benchmarks():
+            for spec in config.limited_kernels(benchmark):
+                profile = get_profile(spec, config)
+                target = select_training_target(
+                    profile.speedup_grid(), config.poise_params.scoring_weights
+                )
+                features = pipeline.sample_features(spec)
+                predicted = model.predict(features, max_warps=profile.max_warps)
+                error_n = abs(predicted[0] - target.point[0]) / max(1, target.point[0])
+                error_p = abs(predicted[1] - target.point[1]) / max(1, target.point[1])
+                errors_n.append(error_n)
+                errors_p.append(error_p)
+                table.add_row(spec.name, str(target.point), str(predicted), error_n, error_p)
+        table.add_row(
+            "MEAN", "", "", arithmetic_mean(errors_n), arithmetic_mean(errors_p)
+        )
+        experiment.scalars["mean_error_n"] = arithmetic_mean(errors_n)
+        experiment.scalars["mean_error_p"] = arithmetic_mean(errors_p)
+        experiment.add_note("Paper: mean prediction error 16% for N and 26% for p.")
+        return experiment
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    return Sec7bPredictionError().run(config)
 
 
 def main() -> None:
-    print(run().to_text())
+    Sec7bPredictionError.cli()
 
 
 if __name__ == "__main__":

@@ -13,39 +13,57 @@ from typing import Optional
 
 from repro.analysis.tables import ExperimentResult, Table
 from repro.core.features import FEATURE_NAMES
-from repro.experiments.common import ExperimentConfig, train_or_load_model
+from repro.experiments.common import (
+    ArtifactSchema,
+    ExperimentBase,
+    ExperimentConfig,
+    train_or_load_model,
+)
+
+
+class Table02FeatureWeights(ExperimentBase):
+    experiment_id = "table02"
+    artifact = "Table II"
+    title = "Feature vector X and learned weights (alpha for N, beta for p)"
+    schema = ArtifactSchema(
+        min_tables=1,
+        required_scalars=("num_training_kernels", "dispersion_n", "dispersion_p"),
+        required_tables=("features and weights",),
+    )
+
+    def build(self, config: ExperimentConfig) -> ExperimentResult:
+        model = train_or_load_model(config)
+
+        experiment = ExperimentResult(
+            experiment_id="table02",
+            description="Feature vector X and learned weights (alpha for N, beta for p)",
+        )
+        table = experiment.add_table(
+            Table(
+                title="Table II — features and weights",
+                columns=["feature", "alpha (N)", "beta (p)"],
+                precision=6,
+            )
+        )
+        for name, alpha, beta in zip(FEATURE_NAMES, model.alpha_weights, model.beta_weights):
+            table.add_row(name, alpha, beta)
+        experiment.scalars["num_training_kernels"] = float(model.num_training_kernels)
+        experiment.scalars["dispersion_n"] = model.dispersion_n
+        experiment.scalars["dispersion_p"] = model.dispersion_p
+        experiment.add_note(
+            "Weights are substrate-specific; the paper's Table II values were fitted on "
+            "GPGPU-Sim profiles.  The structural property reproduced is the 8-feature "
+            "log-linear mapping trained once, offline, on the training split."
+        )
+        return experiment
 
 
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
-    config = config or ExperimentConfig.full()
-    model = train_or_load_model(config)
-
-    experiment = ExperimentResult(
-        experiment_id="table02",
-        description="Feature vector X and learned weights (alpha for N, beta for p)",
-    )
-    table = experiment.add_table(
-        Table(
-            title="Table II — features and weights",
-            columns=["feature", "alpha (N)", "beta (p)"],
-            precision=6,
-        )
-    )
-    for name, alpha, beta in zip(FEATURE_NAMES, model.alpha_weights, model.beta_weights):
-        table.add_row(name, alpha, beta)
-    experiment.scalars["num_training_kernels"] = float(model.num_training_kernels)
-    experiment.scalars["dispersion_n"] = model.dispersion_n
-    experiment.scalars["dispersion_p"] = model.dispersion_p
-    experiment.add_note(
-        "Weights are substrate-specific; the paper's Table II values were fitted on "
-        "GPGPU-Sim profiles.  The structural property reproduced is the 8-feature "
-        "log-linear mapping trained once, offline, on the training split."
-    )
-    return experiment
+    return Table02FeatureWeights().run(config)
 
 
 def main() -> None:
-    print(run().to_text())
+    Table02FeatureWeights.cli()
 
 
 if __name__ == "__main__":

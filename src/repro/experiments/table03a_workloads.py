@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.tables import ExperimentResult, Table
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ArtifactSchema, ExperimentBase, ExperimentConfig
 from repro.profiling.metrics import arithmetic_mean
 from repro.profiling.profiler import measure_pbest
 from repro.workloads.registry import (
@@ -22,49 +22,62 @@ from repro.workloads.registry import (
 )
 
 
-def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
-    config = config or ExperimentConfig.full()
+class Table03aWorkloads(ExperimentBase):
+    experiment_id = "table03a"
+    artifact = "Table IIIa"
+    title = "Training and evaluation workloads (Pbest = speedup with 64x L1)"
+    schema = ArtifactSchema(
+        min_tables=1,
+        required_scalars=("pbest_ii", "pbest_bfs"),
+        required_tables=("workloads",),
+    )
 
-    experiment = ExperimentResult(
-        experiment_id="table03a",
-        description="Training and evaluation workloads (Pbest = speedup with 64x L1)",
-    )
-    table = experiment.add_table(
-        Table(
-            title="Table IIIa — workloads",
-            columns=["role", "suite", "benchmark", "kernels", "Pbest", "memory-sensitive"],
+    def build(self, config: ExperimentConfig) -> ExperimentResult:
+        experiment = ExperimentResult(
+            experiment_id="table03a",
+            description="Training and evaluation workloads (Pbest = speedup with 64x L1)",
         )
-    )
-    groups = (
-        ("training", training_benchmarks()),
-        ("evaluation", evaluation_benchmarks()),
-        ("compute", compute_intensive_benchmarks()),
-    )
-    for role, benchmarks in groups:
-        for benchmark in benchmarks:
-            kernels = config.limited_kernels(benchmark, training=(role == "training"))
-            pbest_values = [
-                measure_pbest(spec, config.gpu, cycles=config.profile_cycles) for spec in kernels
-            ]
-            pbest = arithmetic_mean(pbest_values)
-            table.add_row(
-                role,
-                benchmark.suite,
-                benchmark.name,
-                benchmark.num_kernels,
-                pbest,
-                "yes" if pbest > 1.4 else "no",
+        table = experiment.add_table(
+            Table(
+                title="Table IIIa — workloads",
+                columns=["role", "suite", "benchmark", "kernels", "Pbest", "memory-sensitive"],
             )
-            experiment.scalars[f"pbest_{benchmark.name}"] = pbest
-    experiment.add_note(
-        "Paper Pbest ranges from 1.42x (kmeans) to 14.13x (syr2k) for the evaluation set "
-        "and 1.49-3.43x for training; compute-intensive applications are below 1.2x."
-    )
-    return experiment
+        )
+        groups = (
+            ("training", training_benchmarks()),
+            ("evaluation", evaluation_benchmarks()),
+            ("compute", compute_intensive_benchmarks()),
+        )
+        for role, benchmarks in groups:
+            for benchmark in benchmarks:
+                kernels = config.limited_kernels(benchmark, training=(role == "training"))
+                pbest_values = [
+                    measure_pbest(spec, config.gpu, cycles=config.profile_cycles)
+                    for spec in kernels
+                ]
+                pbest = arithmetic_mean(pbest_values)
+                table.add_row(
+                    role,
+                    benchmark.suite,
+                    benchmark.name,
+                    benchmark.num_kernels,
+                    pbest,
+                    "yes" if pbest > 1.4 else "no",
+                )
+                experiment.scalars[f"pbest_{benchmark.name}"] = pbest
+        experiment.add_note(
+            "Paper Pbest ranges from 1.42x (kmeans) to 14.13x (syr2k) for the evaluation set "
+            "and 1.49-3.43x for training; compute-intensive applications are below 1.2x."
+        )
+        return experiment
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    return Table03aWorkloads().run(config)
 
 
 def main() -> None:
-    print(run().to_text())
+    Table03aWorkloads.cli()
 
 
 if __name__ == "__main__":

@@ -11,46 +11,62 @@ from typing import Optional
 
 from repro.analysis.tables import ExperimentResult, Table
 from repro.core.inference import PoiseParameters
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ArtifactSchema, ExperimentBase, ExperimentConfig
+
+
+class Table04Parameters(ExperimentBase):
+    experiment_id = "table04"
+    artifact = "Table IV"
+    title = "Poise parameters (paper values vs reproduction values)"
+    schema = ArtifactSchema(min_tables=1, required_tables=("Poise parameters",))
+
+    def build(self, config: ExperimentConfig) -> ExperimentResult:
+        paper = PoiseParameters.paper()
+        used = config.poise_params
+
+        experiment = ExperimentResult(
+            experiment_id="table04",
+            description="Poise parameters (paper values vs reproduction values)",
+        )
+        table = experiment.add_table(
+            Table(
+                title="Table IV — Poise parameters",
+                columns=["parameter", "paper", "this run"],
+            )
+        )
+        rows = [
+            (
+                "scoring weights (w0, w1, w2)",
+                str(paper.scoring_weights),
+                str(used.scoring_weights),
+            ),
+            ("T_period (cycles)", paper.t_period, used.t_period),
+            ("T_warmup (cycles)", paper.t_warmup, config.feature_warmup),
+            ("T_feature (cycles)", paper.t_feature, config.feature_cycles),
+            ("T_search (cycles)", paper.t_search, used.t_search),
+            ("I_max (instructions between loads)", paper.i_max, used.i_max),
+            ("epsilon_N (search stride)", paper.stride_n, used.stride_n),
+            ("epsilon_p (search stride)", paper.stride_p, used.stride_p),
+            ("threshold speedup", paper.threshold_speedup, used.threshold_speedup),
+            ("threshold cycles", paper.threshold_cycles, used.threshold_cycles),
+            ("threshold hit rate", paper.threshold_hit_rate, used.threshold_hit_rate),
+        ]
+        for parameter, paper_value, ours in rows:
+            table.add_row(parameter, paper_value, ours)
+        experiment.add_note(
+            "Timing parameters are scaled down because the reproduction's synthetic kernels "
+            "are far shorter than the paper's 4-billion-instruction runs; ratios of sampling "
+            "time to epoch length are preserved."
+        )
+        return experiment
 
 
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
-    config = config or ExperimentConfig.full()
-    paper = PoiseParameters.paper()
-    used = config.poise_params
-
-    experiment = ExperimentResult(
-        experiment_id="table04",
-        description="Poise parameters (paper values vs reproduction values)",
-    )
-    table = experiment.add_table(
-        Table(title="Table IV — Poise parameters", columns=["parameter", "paper", "this run"])
-    )
-    rows = [
-        ("scoring weights (w0, w1, w2)", str(paper.scoring_weights), str(used.scoring_weights)),
-        ("T_period (cycles)", paper.t_period, used.t_period),
-        ("T_warmup (cycles)", paper.t_warmup, config.feature_warmup),
-        ("T_feature (cycles)", paper.t_feature, config.feature_cycles),
-        ("T_search (cycles)", paper.t_search, used.t_search),
-        ("I_max (instructions between loads)", paper.i_max, used.i_max),
-        ("epsilon_N (search stride)", paper.stride_n, used.stride_n),
-        ("epsilon_p (search stride)", paper.stride_p, used.stride_p),
-        ("threshold speedup", paper.threshold_speedup, used.threshold_speedup),
-        ("threshold cycles", paper.threshold_cycles, used.threshold_cycles),
-        ("threshold hit rate", paper.threshold_hit_rate, used.threshold_hit_rate),
-    ]
-    for parameter, paper_value, ours in rows:
-        table.add_row(parameter, paper_value, ours)
-    experiment.add_note(
-        "Timing parameters are scaled down because the reproduction's synthetic kernels "
-        "are far shorter than the paper's 4-billion-instruction runs; ratios of sampling "
-        "time to epoch length are preserved."
-    )
-    return experiment
+    return Table04Parameters().run(config)
 
 
 def main() -> None:
-    print(run().to_text())
+    Table04Parameters.cli()
 
 
 if __name__ == "__main__":

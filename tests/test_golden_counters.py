@@ -1,0 +1,135 @@
+"""Golden-counter regression tests.
+
+PR 1 established the invariant that simulator/runtime optimisations keep the
+performance counters **bit-identical**.  This test pins that guarantee to a
+committed fixture: a tiny kernel is run under every evaluation scheme
+(gto/swl/pcal/poise/static_best) and the resulting ``RunResult`` counters
+must replay exactly — any drift (a changed int anywhere) fails the suite.
+
+The Poise run uses a hand-written model with fixed weights, so the golden
+run depends on no training pipeline and is deterministic by construction.
+
+To regenerate the fixture after an *intentional* behaviour change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_counters.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.core.training import TrainedModel
+from repro.experiments.common import ExperimentConfig, run_scheme_on_kernel
+from repro.runtime import serialization
+from repro.workloads.spec import KernelSpec
+
+FIXTURE_PATH = Path(__file__).resolve().parent / "data" / "golden_counters.json"
+
+GOLDEN_SCHEMES = ("gto", "swl", "pcal", "poise", "static_best")
+
+#: Small enough that all five runs take a few seconds, memory-sensitive
+#: enough that the schemes actually diverge (different warp-tuples, different
+#: hit rates) — a golden fixture where every scheme ties would catch nothing.
+GOLDEN_KERNEL = KernelSpec(
+    name="golden_kernel",
+    num_warps=8,
+    instructions_per_warp=900,
+    instructions_per_load=3,
+    dep_distance=4,
+    intra_warp_fraction=0.7,
+    inter_warp_fraction=0.15,
+    private_lines=48,
+    shared_lines=96,
+    seed=7,
+)
+
+
+def golden_config(cache_dir: Path) -> ExperimentConfig:
+    return replace(
+        ExperimentConfig.fast(),
+        run_max_cycles=40_000,
+        cache_dir=cache_dir,
+        label="golden",
+    )
+
+
+def golden_model() -> TrainedModel:
+    """Fixed-weight model: the Poise controller's behaviour is pinned without
+    depending on the (expensive) training pipeline."""
+    return TrainedModel(
+        alpha_weights=[0.02, -0.03, 0.05, 0.01, -0.02, 0.04, 0.60, 0.30],
+        beta_weights=[0.01, -0.02, 0.03, 0.02, -0.01, 0.02, 0.30, 0.15],
+        max_warps=24,
+        dispersion_n=0.1,
+        dispersion_p=0.1,
+        num_training_kernels=0,
+    )
+
+
+def run_golden(cache_dir: Path) -> dict:
+    config = golden_config(cache_dir)
+    model = golden_model()
+    schemes = {}
+    for scheme in GOLDEN_SCHEMES:
+        result = run_scheme_on_kernel(
+            scheme,
+            GOLDEN_KERNEL,
+            config,
+            model=model if scheme.startswith("poise") else None,
+            use_cache=False,
+        )
+        schemes[scheme] = {
+            "counters": serialization.counters_to_dict(result.counters),
+            "cycles": result.cycles,
+            "warp_tuple": list(result.warp_tuple),
+            "completed": result.completed,
+        }
+    return {
+        "kernel": GOLDEN_KERNEL.name,
+        "run_max_cycles": config.run_max_cycles,
+        "schemes": schemes,
+    }
+
+
+@pytest.fixture(scope="module")
+def golden_replay(tmp_path_factory) -> dict:
+    return run_golden(tmp_path_factory.mktemp("golden-cache"))
+
+
+def test_fixture_exists_or_regenerate(golden_replay):
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
+        FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        FIXTURE_PATH.write_text(json.dumps(golden_replay, indent=2, sort_keys=True) + "\n")
+    assert FIXTURE_PATH.exists(), (
+        f"golden fixture missing — regenerate with "
+        f"REPRO_REGEN_GOLDEN=1 pytest {Path(__file__).name}"
+    )
+
+
+@pytest.mark.parametrize("scheme", GOLDEN_SCHEMES)
+def test_counters_replay_bit_identical(golden_replay, scheme):
+    fixture = json.loads(FIXTURE_PATH.read_text())
+    expected = fixture["schemes"][scheme]
+    actual = golden_replay["schemes"][scheme]
+    assert actual["cycles"] == expected["cycles"]
+    assert actual["warp_tuple"] == expected["warp_tuple"]
+    assert actual["completed"] == expected["completed"]
+    # Compare counter-by-counter so a drift names the counter that moved.
+    for name, value in expected["counters"].items():
+        assert actual["counters"][name] == value, f"{scheme}: counter {name!r} drifted"
+    assert set(actual["counters"]) == set(expected["counters"])
+
+
+def test_schemes_actually_diverge(golden_replay):
+    """Guard the guard: if every scheme produced identical counters the
+    fixture would be vacuous (e.g. the kernel became compute-bound)."""
+    fingerprints = {
+        json.dumps(entry["counters"], sort_keys=True)
+        for entry in golden_replay["schemes"].values()
+    }
+    assert len(fingerprints) > 1

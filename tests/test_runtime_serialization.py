@@ -1,0 +1,192 @@
+"""Round-trip and corruption tests for the serialization + DiskCache layer.
+
+These complement ``test_runtime_executor.py`` (which exercises the full
+simulate→cache→reload path): here the objects are synthetic, so every edge
+— tuple-keyed telemetry, NaN-free energy floats, truncated and partially
+written cache entries — is pinned without running the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.gpu.counters import PerfCounters
+from repro.gpu.energy import EnergyReport
+from repro.gpu.gpu import RunResult
+from repro.profiling.profiler import StaticProfile
+from repro.runtime import serialization
+from repro.runtime.cache import DiskCache
+from repro.workloads.spec import KernelSpec
+
+
+def make_run_result() -> RunResult:
+    counters = PerfCounters(
+        cycles=1234,
+        busy_cycles=456,
+        stall_cycles=778,
+        instructions=456,
+        loads=152,
+        l1_accesses=152,
+        l1_hits=31,
+        l1_misses=121,
+        miss_requests=119,
+        miss_latency_total=21341,
+        l2_accesses=121,
+        l2_hits=64,
+        dram_accesses=57,
+    )
+    energy = EnergyReport(alu_pj=10.5, l1_pj=4.25, l2_pj=8.75, dram_pj=91.0, static_pj=33.5)
+    telemetry = {
+        "predicted_tuples": [(6, 2), (5, 1)],
+        "searched_tuples": [(7, 2), (5, 2)],
+        "compute_intensive_epochs": 0,
+        "nested": {"warp_tuple": (4, 2), "trail": [(1, 1), (2, 1)]},
+    }
+    return RunResult(
+        counters=counters,
+        cycles=1234,
+        energy=energy,
+        warp_tuple=(6, 2),
+        completed=False,
+        telemetry=telemetry,
+    )
+
+
+def make_profile() -> StaticProfile:
+    spec = KernelSpec(name="rt_kernel", num_warps=4, instructions_per_warp=400, seed=3)
+    return StaticProfile(
+        kernel=spec,
+        max_warps=4,
+        baseline_ipc=0.75,
+        ipc={(1, 1): 0.30, (2, 1): 0.55, (4, 2): 0.75, (4, 4): 0.60},
+        baseline_counters=PerfCounters(cycles=100, instructions=75),
+    )
+
+
+class TestValueEncoding:
+    def test_nested_tuples_survive(self):
+        value = {"a": (1, (2, 3)), "b": [(4, 5)], "c": {"d": ((6,),)}}
+        assert serialization.decode_value(serialization.encode_value(value)) == value
+
+    def test_encoding_is_json_serialisable(self):
+        encoded = serialization.encode_value({"point": (3, 1), "trail": [(1, 2)]})
+        assert serialization.decode_value(json.loads(json.dumps(encoded))) == {
+            "point": (3, 1),
+            "trail": [(1, 2)],
+        }
+
+    def test_non_tuple_marker_dict_untouched(self):
+        value = {"__tuple__": [1], "other": 2}  # not a pure marker: two keys
+        assert serialization.decode_value(serialization.encode_value(value)) == value
+
+
+class TestRunResultRoundTrip:
+    def test_equality_through_json(self):
+        result = make_run_result()
+        restored = serialization.run_result_from_dict(
+            json.loads(json.dumps(serialization.run_result_to_dict(result)))
+        )
+        assert restored == result
+        assert isinstance(restored.warp_tuple, tuple)
+        assert restored.telemetry["predicted_tuples"][0] == (6, 2)
+        assert isinstance(restored.telemetry["nested"]["warp_tuple"], tuple)
+
+    def test_unknown_counter_fields_ignored(self):
+        data = serialization.run_result_to_dict(make_run_result())
+        data["counters"]["counter_from_the_future"] = 7
+        restored = serialization.run_result_from_dict(data)
+        assert restored.counters == make_run_result().counters
+
+
+class TestProfileRoundTrip:
+    def test_equality_through_json(self):
+        profile = make_profile()
+        restored = serialization.profile_from_dict(
+            json.loads(json.dumps(serialization.profile_to_dict(profile)))
+        )
+        assert restored == profile
+        assert all(isinstance(point, tuple) for point in restored.ipc)
+
+    def test_profile_without_baseline_counters(self):
+        profile = make_profile()
+        data = serialization.profile_to_dict(profile)
+        data["baseline_counters"] = None
+        restored = serialization.profile_from_dict(data)
+        assert restored.baseline_counters is None
+        assert restored.ipc == profile.ipc
+
+
+class TestDiskCacheCorruption:
+    PAYLOAD = {"kind": "test", "knob": 1}
+
+    def _recompute_pattern(self, cache: DiskCache) -> dict:
+        """The caller idiom everywhere in common.py: miss → recompute → store."""
+        document = cache.load(self.PAYLOAD)
+        if document is None:
+            document = {"value": 42}
+            cache.store(self.PAYLOAD, document)
+        return document
+
+    def test_truncated_entry_falls_back_to_recompute(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store(self.PAYLOAD, {"value": 42})
+        path = cache.path_for(self.PAYLOAD)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.load(self.PAYLOAD) is None
+        assert not path.exists()  # the corrupt entry is evicted…
+        assert self._recompute_pattern(cache) == {"value": 42}
+        assert cache.load(self.PAYLOAD) == {"value": 42}  # …and healed
+
+    def test_garbage_entry_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = cache.path_for(self.PAYLOAD)
+        path.parent.mkdir(parents=True)
+        path.write_text("not json at all {{{")
+        assert cache.load(self.PAYLOAD) is None
+        assert self._recompute_pattern(cache) == {"value": 42}
+
+    def test_wrong_format_version_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store(self.PAYLOAD, {"value": 42})
+        path = cache.path_for(self.PAYLOAD)
+        document = json.loads(path.read_text())
+        document["format_version"] = 999
+        path.write_text(json.dumps(document))
+        assert cache.load(self.PAYLOAD) is None
+
+    def test_leftover_partial_write_is_invisible(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store(self.PAYLOAD, {"value": 42})
+        path = cache.path_for(self.PAYLOAD)
+        # A writer that died mid-write leaves only a temp file behind; it must
+        # never be read as an entry, and a later store must still land.
+        tmp_file = path.with_name(f".{path.name}.12345.tmp")
+        tmp_file.write_text('{"format_version":')
+        assert cache.load(self.PAYLOAD) == {"value": 42}
+        cache.store(self.PAYLOAD, {"value": 43})
+        assert cache.load(self.PAYLOAD) == {"value": 43}
+
+    def test_missing_result_key_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = cache.path_for(self.PAYLOAD)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"format_version": 1}))
+        assert cache.load(self.PAYLOAD) is None
+
+
+class TestRunResultThroughDiskCache:
+    def test_tuple_preserving_cache_round_trip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        result = make_run_result()
+        payload = {"kind": "run", "x": 1}
+        cache.store(payload, serialization.run_result_to_dict(result))
+        assert serialization.run_result_from_dict(cache.load(payload)) == result
+
+    def test_profile_cache_round_trip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        profile = make_profile()
+        payload = {"kind": "profile", "x": 1}
+        cache.store(payload, serialization.profile_to_dict(profile))
+        assert serialization.profile_from_dict(cache.load(payload)) == profile
