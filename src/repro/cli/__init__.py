@@ -6,7 +6,8 @@ Subcommands:
 * ``run`` / ``run-all`` — execute experiments and emit JSON artifacts,
 * ``report`` — summarise previously emitted artifacts,
 * ``bench`` — simulator throughput microbenchmarks (BENCH_throughput.json),
-* ``pretrain`` — offline training of the Poise regression model.
+* ``pretrain`` — offline training of the Poise regression model,
+* ``trace`` — capture, replay, generate and inspect address traces.
 """
 
 from repro.cli.main import main

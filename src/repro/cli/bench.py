@@ -25,6 +25,7 @@ from repro.runtime.bench import (
     compute_intensive_kernel,
     measure_sweep,
     measure_throughput,
+    measure_trace_replay,
     memory_divergent_kernel,
 )
 from repro.runtime.executor import resolve_jobs
@@ -61,6 +62,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{spec.name}: {result['cycles_per_second']:,.0f} cycles/s "
             f"({result['cycles']:,} cycles in {result['wall_seconds']:.3f}s)"
         )
+
+    # Trace replay: decode a stencil-family trace file and simulate it — the
+    # file-to-counters path the trace subsystem adds.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-trace-") as tmp:
+        result = measure_trace_replay(Path(tmp), max_cycles=args.max_cycles)
+    throughput["trace_replay"] = result
+    print(
+        f"trace_replay ({result['kernel']}): {result['cycles_per_second']:,.0f} cycles/s "
+        f"({result['cycles']:,} cycles in {result['wall_seconds']:.3f}s, "
+        f"decode {result['decode_seconds']:.3f}s)"
+    )
 
     # A fresh temp directory keeps the cold sweep honest.
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:

@@ -2,8 +2,9 @@
 
 Examples::
 
-    python -m repro list
+    python -m repro list --workloads
     python -m repro run fig07 fig08 --fast
+    python -m repro trace gen --out /tmp/traces
     python -m repro run-all --fast --jobs 4 --cache-dir /tmp/poise
     python -m repro report --fast
     python -m repro bench --dry-run
@@ -83,7 +84,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", metavar="COMMAND")
 
-    subparsers.add_parser("list", help="catalogue of every registered experiment")
+    list_parser = subparsers.add_parser(
+        "list", help="catalogue of every registered experiment"
+    )
+    list_parser.add_argument(
+        "--workloads", action="store_true",
+        help="also print the benchmark/suite catalog (trace vs. synthetic)",
+    )
 
     run_parser = subparsers.add_parser(
         "run", help="run one or more experiments and emit JSON artifacts"
@@ -111,6 +118,9 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "pretrain", help="offline training of the Poise regression model", add_help=False
     )
+    subparsers.add_parser(
+        "trace", help="trace capture/replay/gen/info tools", add_help=False
+    )
     return parser
 
 
@@ -127,7 +137,27 @@ def _cache_dir(args: argparse.Namespace) -> str:
     return str(default_cache_dir())
 
 
-def _cmd_list() -> int:
+def _cmd_list(workloads: bool = False) -> int:
+    if workloads:
+        from repro.workloads.registry import all_benchmarks
+
+        benchmarks = Table(
+            title="Registered workloads",
+            columns=["benchmark", "suite", "role", "kernels", "kind", "description"],
+        )
+        trace_count = 0
+        for benchmark in all_benchmarks().values():
+            is_trace = benchmark.role == "trace"
+            trace_count += is_trace
+            benchmarks.add_row(
+                benchmark.name, benchmark.suite, benchmark.role, benchmark.num_kernels,
+                "trace" if is_trace else "synthetic", benchmark.description,
+            )
+        print(benchmarks.to_text())
+        print(
+            f"\n{len(benchmarks.rows)} benchmarks registered "
+            f"({trace_count} trace-native, {len(benchmarks.rows) - trace_count} synthetic)\n"
+        )
     table = Table(title="Registered experiments", columns=["id", "paper artefact", "title"])
     for experiment in registry.all_experiments():
         table.add_row(experiment.id, experiment.artifact, experiment.title)
@@ -236,6 +266,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.cli.pretrain import main as pretrain_main
 
         return pretrain_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.cli.trace import main as trace_main
+
+        return trace_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -243,7 +277,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.print_help()
         return 2
     if args.command == "list":
-        return _cmd_list()
+        return _cmd_list(workloads=args.workloads)
     try:
         if args.command == "run":
             return _cmd_run(args.ids, args)

@@ -202,8 +202,8 @@ class ExperimentConfig:
 # Caches (per process memory + content-addressed disk)
 # ---------------------------------------------------------------------------
 
-_PROFILE_CACHE: Dict[Tuple[str, str], StaticProfile] = {}
-_RUN_CACHE: Dict[Tuple[str, str, str, Optional[str]], RunResult] = {}
+_PROFILE_CACHE: Dict[Tuple[KernelSpec, str], StaticProfile] = {}
+_RUN_CACHE: Dict[Tuple[str, KernelSpec, str, Optional[str]], RunResult] = {}
 _MODEL_CACHE: Dict[str, TrainedModel] = {}
 
 
@@ -212,19 +212,22 @@ def _run_cache_key(
     spec: KernelSpec,
     config: ExperimentConfig,
     model: Optional[TrainedModel],
-) -> Tuple[str, str, str, Optional[str]]:
+) -> Tuple[str, KernelSpec, str, Optional[str]]:
     """In-memory run-cache key.
 
-    Model-driven schemes fold in a digest of the weights: evaluating the
-    same kernel under two different models in one process must not share a
-    cache slot (the disk layer already keys on the model; the memory layer
-    has to agree).
+    Keyed on the full (frozen, hashable) spec rather than its name: a
+    captured-trace replay deliberately shares its source kernel's name, and
+    two same-named specs must never share a cache slot.  Model-driven
+    schemes fold in a digest of the weights: evaluating the same kernel
+    under two different models in one process must not share a cache slot
+    either (the disk layer already keys on the model; the memory layer has
+    to agree).
     """
     model_tag = None
     if scheme.lower().startswith("poise") and model is not None:
         digest = repr(serialization.model_digest(model))
         model_tag = hashlib.sha256(digest.encode("utf-8")).hexdigest()[:12]
-    return (scheme, spec.name, config.cache_key, model_tag)
+    return (scheme, spec, config.cache_key, model_tag)
 
 
 def clear_caches(config: Optional[ExperimentConfig] = None) -> None:
@@ -293,7 +296,7 @@ def _run_key_payload(
 
 def get_profile(spec: KernelSpec, config: ExperimentConfig) -> StaticProfile:
     """Profile a kernel over the warp-tuple grid, with memory + disk caching."""
-    key = (spec.name, config.cache_key)
+    key = (spec, config.cache_key)
     profile = _PROFILE_CACHE.get(key)
     if profile is not None:
         return profile

@@ -60,8 +60,11 @@ class GPU:
         self,
         programs: Sequence[Sequence[Instruction]],
         cache_policy: Optional[CacheManagementPolicy] = None,
+        trace_capture=None,
     ) -> StreamingMultiprocessor:
-        return StreamingMultiprocessor(self.config, programs, cache_policy=cache_policy)
+        return StreamingMultiprocessor(
+            self.config, programs, cache_policy=cache_policy, trace_capture=trace_capture
+        )
 
     def run_kernel(
         self,
@@ -70,6 +73,7 @@ class GPU:
         controller=None,
         max_cycles: Optional[int] = None,
         cache_policy: Optional[CacheManagementPolicy] = None,
+        trace_capture=None,
     ) -> RunResult:
         """Execute a kernel.
 
@@ -81,8 +85,10 @@ class GPU:
                 that drives the run dynamically (overrides ``warp_tuple``).
             max_cycles: cycle budget (defaults to the config's budget).
             cache_policy: optional instruction-based cache management hook.
+            trace_capture: optional issued-stream recorder
+                (:class:`repro.trace.capture.TraceCapture`).
         """
-        sm = self.build_sm(programs, cache_policy=cache_policy)
+        sm = self.build_sm(programs, cache_policy=cache_policy, trace_capture=trace_capture)
         budget = max_cycles if max_cycles is not None else self.config.max_cycles
         telemetry: dict = {}
         if controller is not None:

@@ -168,7 +168,11 @@ class KernelProfiler:
             )
         )
         executor = self.executor or SweepExecutor()
-        if executor.parallel and len(points) > 1:
+        # Trace-backed kernels stay on the serial path: each worker would
+        # otherwise re-decode the whole trace file per grid point, while the
+        # serial loop shares the one decoded ``programs`` across all points.
+        trace_backed = hasattr(spec, "materialise_programs")
+        if executor.parallel and len(points) > 1 and not trace_backed:
             results = executor.map(
                 _measure_point_job,
                 [

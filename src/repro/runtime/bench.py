@@ -95,6 +95,49 @@ def measure_throughput(spec: KernelSpec, max_cycles: int = 80_000) -> Dict[str, 
     }
 
 
+def trace_replay_kernel(trace_dir: Path) -> "KernelSpec":
+    """Export the stencil trace family to ``trace_dir`` and return a
+    file-backed spec for it — the trace-replay half of the BENCH trajectory
+    exercises the full decode-then-simulate path."""
+    from repro.trace.adapter import TraceKernelSpec
+    from repro.trace.codec import write_trace
+    from repro.trace.families import family_kernel
+    from repro.workloads.generator import generate_kernel_programs
+
+    spec = family_kernel("stencil", "bench_trace_replay", seed=13,
+                         params=(("width", 96), ("rows_per_warp", 4)))
+    programs = generate_kernel_programs(spec)
+    path = Path(trace_dir) / "bench_trace_replay.trc"
+    content_hash = write_trace(path, programs, meta={"kernel": spec.name, "source": "family"})
+    # Build the file-backed spec from the writer's own hash so the benchmark
+    # does not pay a verify decode before the decode it is trying to time.
+    return TraceKernelSpec(
+        name=spec.name,
+        num_warps=len(programs),
+        instructions_per_warp=max(len(program) for program in programs),
+        intra_warp_fraction=0.0,
+        inter_warp_fraction=0.0,
+        source="file",
+        trace_path=str(path),
+        trace_hash=content_hash,
+    )
+
+
+def measure_trace_replay(trace_dir: Path, max_cycles: int = 80_000) -> Dict[str, float]:
+    """Trace-replay throughput: decode wall-clock plus replay cycles/second."""
+    from repro.workloads.generator import generate_kernel_programs
+
+    spec = trace_replay_kernel(Path(trace_dir))
+    start = time.perf_counter()
+    programs = generate_kernel_programs(spec)  # decode only (replay bypasses the cache)
+    decode_seconds = max(time.perf_counter() - start, 1e-9)
+    decoded_instructions = sum(len(program) for program in programs)
+    result = measure_throughput(spec, max_cycles=max_cycles)
+    result["decode_seconds"] = decode_seconds
+    result["instructions_decoded_per_second"] = decoded_instructions / decode_seconds
+    return result
+
+
 def measure_sweep(
     cache_dir: Path,
     spec: Optional[KernelSpec] = None,

@@ -107,10 +107,29 @@ def profile_to_dict(profile: StaticProfile) -> Dict[str, Any]:
     }
 
 
+def kernel_spec_from_dict(data: Dict[str, Any]) -> KernelSpec:
+    """Rebuild a kernel spec, restoring the trace subclass when present.
+
+    Trace-backed kernels serialise with their extra fields (``source``,
+    ``family``, ``trace_hash``, ``params``); JSON turns the ``params`` tuple
+    pairs into lists, so they are re-tupled here — the round-tripped spec
+    compares (and hashes) equal to the original.
+    """
+    if "source" in data:
+        from repro.trace.adapter import TraceKernelSpec
+
+        data = dict(data)
+        data["params"] = tuple(
+            (str(key), value) for key, value in (data.get("params") or ())
+        )
+        return TraceKernelSpec(**data)
+    return KernelSpec(**data)
+
+
 def profile_from_dict(data: Dict[str, Any]) -> StaticProfile:
     counters = data.get("baseline_counters")
     return StaticProfile(
-        kernel=KernelSpec(**data["kernel"]),
+        kernel=kernel_spec_from_dict(data["kernel"]),
         max_warps=int(data["max_warps"]),
         baseline_ipc=float(data["baseline_ipc"]),
         ipc={(int(n), int(p)): float(value) for n, p, value in data["ipc"]},
@@ -141,7 +160,19 @@ def code_fingerprint() -> str:
 
 
 def spec_payload(spec: KernelSpec) -> Dict[str, Any]:
-    return dataclasses.asdict(spec)
+    """Content-key payload for a kernel spec.
+
+    For trace-backed kernels whose content hash is pinned, the *location* of
+    the trace file is excluded: ``trace_hash`` already pins what the kernel
+    computes, so the same trace copied elsewhere hits the same cache entries
+    while two different traces can never collide.  An unverified spec
+    (``trace_hash == ""``, from ``trace_kernel_from_file(verify=False)``)
+    keeps its path — a weaker key, but never one two different traces share.
+    """
+    payload = dataclasses.asdict(spec)
+    if payload.get("trace_hash"):
+        payload.pop("trace_path", None)
+    return payload
 
 
 def gpu_payload(gpu_config) -> Dict[str, Any]:

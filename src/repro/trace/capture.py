@@ -1,0 +1,128 @@
+"""Capturing the issued instruction stream of a simulated kernel.
+
+:class:`TraceCapture` is the hook the SM cycle loop calls on every
+*successfully issued* instruction (an MSHR-full retry is not an issue, so a
+retried load is recorded exactly once).  Because warps issue their programs
+in order, the per-warp captured streams are precisely the warp programs —
+replaying them through the simulator reproduces the run's counters
+bit-identically.
+
+A capture is complete only when the captured kernel ran to completion; the
+helpers below enforce that, because a truncated capture would silently
+replay as a shorter kernel.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.gpu.isa import Instruction
+from repro.trace.codec import write_trace
+
+
+class TraceCapture:
+    """Records the exact per-warp issued stream of one simulation."""
+
+    def __init__(self) -> None:
+        self._streams: Dict[int, List[Instruction]] = {}
+
+    def record(self, warp_id: int, instruction: Instruction) -> None:
+        """Called by the SM once per successfully issued instruction."""
+        stream = self._streams.get(warp_id)
+        if stream is None:
+            stream = self._streams[warp_id] = []
+        stream.append(instruction)
+
+    @property
+    def num_warps(self) -> int:
+        return len(self._streams)
+
+    @property
+    def instructions(self) -> int:
+        return sum(len(stream) for stream in self._streams.values())
+
+    def programs(self, num_warps: Optional[int] = None) -> List[List[Instruction]]:
+        """The captured streams ordered by warp id.
+
+        ``num_warps`` pads warps that never issued (empty programs) so the
+        replayed kernel launches the same warp count as the original.
+        """
+        count = num_warps if num_warps is not None else (
+            max(self._streams) + 1 if self._streams else 0
+        )
+        return [list(self._streams.get(warp_id, [])) for warp_id in range(count)]
+
+    def write(
+        self,
+        path: Union[str, Path],
+        kernel_name: str,
+        num_warps: Optional[int] = None,
+        extra_meta: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Write the capture as a trace file; returns the content hash."""
+        programs = self.programs(num_warps=num_warps)
+        meta: Dict[str, Any] = {
+            "kernel": kernel_name,
+            "source": "capture",
+            "num_warps": len(programs),
+        }
+        meta.update(extra_meta or {})
+        return write_trace(path, programs, meta=meta)
+
+
+def capture_kernel(
+    spec,
+    config=None,
+    max_cycles: Optional[int] = None,
+) -> Tuple[TraceCapture, "object"]:
+    """Run ``spec`` to completion under plain GTO and capture its stream.
+
+    Returns ``(capture, run_result)``.  The cycle budget defaults to a
+    generous multiple of the kernel's instruction count; if the kernel still
+    does not finish, the capture would be a silent prefix, so this raises
+    instead.
+    """
+    from repro.gpu.config import baseline_config
+    from repro.gpu.gpu import GPU
+    from repro.workloads.generator import generate_kernel_programs
+
+    config = config or baseline_config()
+    programs = generate_kernel_programs(spec)
+    if max_cycles is None:
+        # Every instruction takes >= 1 issue slot; stalls inflate that, so
+        # budget a wide margin above the instruction count.
+        max_cycles = 50_000 + 16 * sum(len(program) for program in programs)
+    capture = TraceCapture()
+    gpu = GPU(config.with_max_cycles(max_cycles))
+    result = gpu.run_kernel(programs, max_cycles=max_cycles, trace_capture=capture)
+    if not result.completed:
+        raise RuntimeError(
+            f"kernel {spec.name!r} did not complete within {max_cycles} cycles; "
+            f"a partial capture cannot replay bit-identically — raise max_cycles"
+        )
+    return capture, result
+
+
+def capture_kernel_to_file(
+    spec,
+    path: Union[str, Path],
+    config=None,
+    max_cycles: Optional[int] = None,
+) -> Tuple[str, "object"]:
+    """Capture ``spec`` and write the trace to ``path``.
+
+    Returns ``(content_hash, run_result)``.  The source spec's parameters are
+    embedded in the trace metadata so ``trace info`` can say where a file
+    came from.
+    """
+    import dataclasses
+
+    capture, result = capture_kernel(spec, config=config, max_cycles=max_cycles)
+    content_hash = capture.write(
+        path,
+        kernel_name=spec.name,
+        num_warps=spec.num_warps,
+        extra_meta={"captured_from": dataclasses.asdict(spec)},
+    )
+    return content_hash, result

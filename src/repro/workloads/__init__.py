@@ -27,6 +27,7 @@ from repro.workloads.registry import (
     compute_intensive_benchmarks,
     evaluation_benchmarks,
     get_benchmark,
+    trace_benchmarks,
     training_benchmarks,
 )
 
@@ -38,5 +39,6 @@ __all__ = [
     "evaluation_benchmarks",
     "generate_kernel_programs",
     "get_benchmark",
+    "trace_benchmarks",
     "training_benchmarks",
 ]

@@ -18,8 +18,8 @@ benchmarks' address streams would.
 from __future__ import annotations
 
 import random
-from functools import lru_cache
-from typing import List
+from collections import OrderedDict
+from typing import List, Optional, Tuple
 
 from repro.gpu.isa import Instruction, alu, load
 from repro.workloads.spec import KernelSpec
@@ -72,19 +72,63 @@ def generate_warp_program(spec: KernelSpec, warp_id: int) -> List[Instruction]:
     return program
 
 
-@lru_cache(maxsize=6)
-def _generate_kernel_programs_cached(spec: KernelSpec) -> tuple:
-    return tuple(
-        tuple(generate_warp_program(spec, warp_id)) for warp_id in range(spec.num_warps)
-    )
+class BoundedProgramCache:
+    """An explicit, bounded LRU of generated warp programs.
+
+    The previous ``@lru_cache`` kept whole kernels' programs (hundreds of
+    thousands of :class:`Instruction` objects) alive via an opaque module
+    attribute; this cache makes the bound, the eviction order and the clear
+    operation explicit, and — crucially — is *never consulted* for
+    trace-backed kernels, whose decoded multi-million-instruction programs
+    must not be pinned in memory between runs.
+    """
+
+    def __init__(self, capacity: int = 6) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[KernelSpec, Tuple[tuple, ...]]" = OrderedDict()
+
+    def get(self, spec: KernelSpec) -> Optional[Tuple[tuple, ...]]:
+        programs = self._entries.get(spec)
+        if programs is not None:
+            self._entries.move_to_end(spec)
+        return programs
+
+    def put(self, spec: KernelSpec, programs: Tuple[tuple, ...]) -> None:
+        self._entries[spec] = programs
+        self._entries.move_to_end(spec)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Module-level cache: the profiler and the scheme runners repeatedly execute
+#: the same few kernels, and regenerating their instruction streams would
+#: dominate their runtime.
+_PROGRAM_CACHE = BoundedProgramCache(capacity=6)
 
 
 def generate_kernel_programs(spec: KernelSpec) -> List[List[Instruction]]:
-    """Generate programs for every warp of the kernel.
+    """Produce the per-warp programs of a kernel.
 
-    Kernel specs are immutable, so generation is memoised (bounded LRU): the
-    profiler and the scheme runners repeatedly execute the same kernel and
-    regenerating hundreds of thousands of instructions would dominate their
-    runtime.
+    Trace-backed specs (anything exposing ``materialise_programs``, i.e.
+    :class:`repro.trace.adapter.TraceKernelSpec`) are decoded or synthesised
+    on demand and bypass the program cache entirely.  Synthetic specs are
+    generated once and memoised in the bounded LRU above.
     """
-    return [list(program) for program in _generate_kernel_programs_cached(spec)]
+    materialise = getattr(spec, "materialise_programs", None)
+    if materialise is not None:
+        return materialise()
+    cached = _PROGRAM_CACHE.get(spec)
+    if cached is None:
+        cached = tuple(
+            tuple(generate_warp_program(spec, warp_id)) for warp_id in range(spec.num_warps)
+        )
+        _PROGRAM_CACHE.put(spec, cached)
+    return [list(program) for program in cached]

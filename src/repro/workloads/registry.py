@@ -27,10 +27,21 @@ TRAINING_ORDER = ["gco", "pvr", "ccl"]
 
 COMPUTE_ORDER = ["wc", "covar", "gramschm", "sradv2", "hybridsort", "hotspot", "pathfinder"]
 
+# The trace-native workload suite (structured address streams the synthetic
+# generator cannot express; see repro.trace.families).
+TRACE_ORDER = ["stencil", "transpose", "gather", "treereduce", "phasemix"]
+
 
 @lru_cache(maxsize=1)
 def _registry() -> Dict[str, BenchmarkSpec]:
-    return build_all_benchmarks()
+    from repro.trace.families import build_trace_benchmarks
+
+    benchmarks = build_all_benchmarks()
+    for spec in build_trace_benchmarks():
+        if spec.name in benchmarks:
+            raise ValueError(f"duplicate benchmark name {spec.name!r}")
+        benchmarks[spec.name] = spec
+    return benchmarks
 
 
 def all_benchmarks() -> Dict[str, BenchmarkSpec]:
@@ -60,3 +71,8 @@ def evaluation_benchmarks() -> List[BenchmarkSpec]:
 def compute_intensive_benchmarks() -> List[BenchmarkSpec]:
     """The memory-insensitive applications of Fig. 16."""
     return [get_benchmark(name) for name in COMPUTE_ORDER]
+
+
+def trace_benchmarks() -> List[BenchmarkSpec]:
+    """The trace-native workload suite (never part of the paper's splits)."""
+    return [get_benchmark(name) for name in TRACE_ORDER]

@@ -74,11 +74,11 @@ class BenchmarkSpec:
     name: str
     suite: str
     kernels: List[KernelSpec] = field(default_factory=list)
-    role: str = "evaluation"  # "training", "evaluation" or "compute"
+    role: str = "evaluation"  # "training", "evaluation", "compute" or "trace"
     description: str = ""
 
     def __post_init__(self) -> None:
-        if self.role not in ("training", "evaluation", "compute"):
+        if self.role not in ("training", "evaluation", "compute", "trace"):
             raise ValueError(f"unknown benchmark role {self.role!r}")
         if not self.kernels:
             raise ValueError("a benchmark needs at least one kernel")
