@@ -6,15 +6,28 @@ memory-divergent and a compute-intensive kernel, and the wall-clock of the
 fast-profile warp-tuple sweep cold (every point simulated — the seed's
 serial path) versus warm (served from the persistent result cache).
 
-Acceptance: the cached sweep must be at least 3× faster than the cold
-serial sweep, and a parallel sweep must reproduce the serial grid
-bit-for-bit.
+Acceptance:
+
+* the struct-of-arrays fast core must simulate at least **3×** the
+  cycles/second of the PR 1 legacy baseline committed in
+  ``BENCH_throughput.json`` on both bracket kernels,
+* the fast core must beat a live legacy run by at least 2× (the same
+  ratio the CI perf gate enforces, robust to host speed),
+* the cached sweep must be at least 3× faster than the cold serial sweep,
+  and a parallel sweep must reproduce the serial grid bit-for-bit.
 """
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
+import pytest
+
 from repro.runtime.bench import (
+    committed_legacy_baseline,
     compute_intensive_kernel,
+    load_trajectory,
     measure_sweep,
     measure_throughput,
     memory_divergent_kernel,
@@ -24,6 +37,28 @@ from repro.runtime.bench import (
 #: reference box clears ~1M cycles/s); it exists to catch a pathological
 #: slowdown, not to benchmark the host.
 MIN_CYCLES_PER_SECOND = 100_000.0
+
+#: The headline requirement: fast-core cycles/s over the committed PR 1
+#: legacy baseline.  Measurements keep the fastest of several rounds (the
+#: counters are deterministic; only the timer is noisy), which is the slack
+#: that makes a hard 3.0x assertion safe on a loaded host.
+MIN_SPEEDUP_OVER_COMMITTED_BASELINE = 3.0
+
+#: Fast vs a live legacy run on the same host (the CI gate ratio).
+MIN_LIVE_SPEEDUP_OVER_LEGACY = 2.0
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+def committed_baseline_cps(kernel_name: str) -> float:
+    """The committed (earliest legacy entry) cycles/second for ``kernel_name``."""
+    baseline = committed_legacy_baseline(load_trajectory(TRAJECTORY_PATH))
+    if kernel_name not in baseline:
+        pytest.skip(
+            f"no committed legacy baseline for {kernel_name!r} in "
+            f"{TRAJECTORY_PATH.name} (fresh trajectory)"
+        )
+    return baseline[kernel_name]
 
 
 def test_memory_divergent_throughput(benchmark):
@@ -50,6 +85,74 @@ def test_compute_intensive_throughput(benchmark):
     )
     assert result["cycles"] > 0
     assert result["cycles_per_second"] > MIN_CYCLES_PER_SECOND
+
+
+@pytest.mark.parametrize(
+    "make_spec", [memory_divergent_kernel, compute_intensive_kernel]
+)
+def test_fast_core_speedup_over_committed_baseline(benchmark, make_spec):
+    """The struct-of-arrays core clears >= 3x the committed PR 1 baseline."""
+    spec = make_spec()
+    baseline_cps = committed_baseline_cps(spec.name)
+    result = benchmark.pedantic(
+        measure_throughput,
+        args=(spec,),
+        kwargs={"engine": "fast", "rounds": 3},
+        rounds=1,
+        iterations=1,
+    )
+    speedup = result["cycles_per_second"] / baseline_cps
+    print()
+    print(
+        f"{spec.name} [fast]: {result['cycles_per_second']:,.0f} cycles/s vs "
+        f"committed legacy {baseline_cps:,.0f} -> {speedup:.2f}x"
+    )
+    if (
+        speedup < MIN_SPEEDUP_OVER_COMMITTED_BASELINE
+        and os.environ.get("REPRO_BENCH_RELAX_COMMITTED") == "1"
+    ):
+        # The committed baseline is absolute cycles/s from the reference
+        # container; on a foreign/throttled host (CI runners) it measures
+        # host speed, not regressions — the live fast-vs-legacy test next
+        # door stays authoritative there.
+        pytest.xfail(
+            f"{speedup:.2f}x < {MIN_SPEEDUP_OVER_COMMITTED_BASELINE}x vs the "
+            f"committed baseline, tolerated off the reference host "
+            f"(REPRO_BENCH_RELAX_COMMITTED=1)"
+        )
+    assert speedup >= MIN_SPEEDUP_OVER_COMMITTED_BASELINE, (
+        f"fast core is only {speedup:.2f}x the committed legacy baseline on "
+        f"{spec.name} (need >= {MIN_SPEEDUP_OVER_COMMITTED_BASELINE}x)"
+    )
+
+
+def test_fast_core_speedup_over_live_legacy(benchmark):
+    """Fast vs legacy on the same host, same kernels — the CI gate ratio."""
+
+    def measure_both():
+        results = {}
+        for make_spec in (memory_divergent_kernel, compute_intensive_kernel):
+            spec = make_spec()
+            fast = measure_throughput(spec, engine="fast", rounds=3)
+            legacy = measure_throughput(spec, engine="legacy", rounds=3)
+            results[spec.name] = (
+                fast["cycles_per_second"],
+                legacy["cycles_per_second"],
+            )
+        return results
+
+    results = benchmark.pedantic(measure_both, rounds=1, iterations=1)
+    print()
+    for kernel, (fast_cps, legacy_cps) in results.items():
+        ratio = fast_cps / legacy_cps
+        print(
+            f"{kernel}: fast {fast_cps:,.0f} vs legacy {legacy_cps:,.0f} "
+            f"cycles/s -> {ratio:.2f}x"
+        )
+        assert ratio >= MIN_LIVE_SPEEDUP_OVER_LEGACY, (
+            f"fast core only {ratio:.2f}x a live legacy run on {kernel} "
+            f"(need >= {MIN_LIVE_SPEEDUP_OVER_LEGACY}x)"
+        )
 
 
 def test_fast_profile_sweep_speedup(benchmark, tmp_path):

@@ -1,14 +1,35 @@
 """``repro bench`` — simulator throughput microbenchmarks.
 
 Appends one entry to ``BENCH_throughput.json`` (a JSON list, by default in
-the current directory) with the hot-loop throughput (simulated cycles per
-wall-clock second on the memory-divergent and compute-intensive kernels)
-and the fast-profile sweep wall-clock (cold serial vs. warm persistent-cache
-vs. parallel), so future performance PRs have a baseline to compare against.
+the current directory) with:
+
+* hot-loop throughput (simulated cycles per wall-clock second) on the
+  memory-divergent and compute-intensive kernels, measured **per engine**
+  (``fast`` and ``legacy``),
+* a trace-replay row (decode + replay of a stencil-family trace),
+* the full bench **matrix** — every evaluation scheme
+  (gto/swl/pcal/poise/static_best) × representative synthetic and
+  trace-family kernels × both engines — so the perf trajectory accumulates
+  comparable data points,
+* the fast-profile sweep wall-clock (cold serial vs. warm persistent-cache
+  vs. parallel).
+
+Every record carries ``engine``, ``python_version`` and ``cpu_count``; all
+timing is ``time.perf_counter``.
+
+``--gate RATIO`` turns the run into a CI perf gate: it fails (exit 1) when
+the fast engine's throughput drops below ``RATIO`` × a **live legacy run on
+the same host** on either bracket kernel — a host-speed-independent
+regression signal (both engines pay the same slowdown on a throttled
+runner).  The ratio against the committed legacy baseline (the earliest
+trajectory entry, measured on the reference container) is reported
+alongside for trend context but never fails the gate off-host.
 
 Usage::
 
-    python -m repro bench [--output PATH] [--jobs N] [--max-cycles N] [--dry-run]
+    python -m repro bench [--output PATH] [--jobs N] [--max-cycles N]
+                          [--engines fast,legacy] [--skip-matrix]
+                          [--matrix-cycles N] [--gate RATIO] [--dry-run]
 """
 
 from __future__ import annotations
@@ -19,10 +40,16 @@ import json
 import sys
 import tempfile
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.gpu.engine import resolve_engine
 from repro.runtime.bench import (
+    GATE_KERNELS,
+    committed_legacy_baseline,
     compute_intensive_kernel,
+    host_environment,
+    load_trajectory,
+    measure_matrix,
     measure_sweep,
     measure_throughput,
     measure_trace_replay,
@@ -49,19 +76,50 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="cycle budget per throughput kernel (default 80000)",
     )
     parser.add_argument(
+        "--engines", default="fast,legacy",
+        help="comma-separated engines to benchmark (default: fast,legacy)",
+    )
+    parser.add_argument(
+        "--skip-matrix", action="store_true",
+        help="skip the scheme × kernel × engine matrix",
+    )
+    parser.add_argument(
+        "--matrix-cycles", type=int, default=40_000,
+        help="cycle budget per matrix cell (default 40000; CI uses a tiny budget)",
+    )
+    parser.add_argument(
+        "--skip-sweep", action="store_true",
+        help="skip the cold/warm/parallel profile-sweep measurement",
+    )
+    parser.add_argument(
+        "--gate", type=float, default=None, metavar="RATIO",
+        help="fail unless fast-engine throughput is at least RATIO x a live "
+             "legacy run on this host for both bracket kernels (the ratio "
+             "vs the committed legacy baseline is reported for context)",
+    )
+    parser.add_argument(
         "--dry-run", action="store_true",
         help="print the entry without appending it to the trajectory",
     )
     args = parser.parse_args(argv)
 
-    throughput = {}
-    for spec in (memory_divergent_kernel(), compute_intensive_kernel()):
-        result = measure_throughput(spec, max_cycles=args.max_cycles)
-        throughput[spec.name] = result
-        print(
-            f"{spec.name}: {result['cycles_per_second']:,.0f} cycles/s "
-            f"({result['cycles']:,} cycles in {result['wall_seconds']:.3f}s)"
-        )
+    engines = [resolve_engine(name) for name in args.engines.split(",") if name.strip()]
+    if not engines:
+        parser.error("--engines must name at least one engine")
+
+    throughput: Dict[str, dict] = {}
+    for engine in engines:
+        rows = {}
+        for spec in (memory_divergent_kernel(), compute_intensive_kernel()):
+            result = measure_throughput(
+                spec, max_cycles=args.max_cycles, engine=engine, rounds=3
+            )
+            rows[spec.name] = result
+            print(
+                f"[{engine}] {spec.name}: {result['cycles_per_second']:,.0f} cycles/s "
+                f"({result['cycles']:,} cycles in {result['wall_seconds']:.3f}s)"
+            )
+        throughput[engine] = rows
 
     # Trace replay: decode a stencil-family trace file and simulate it — the
     # file-to-counters path the trace subsystem adds.
@@ -69,47 +127,89 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         result = measure_trace_replay(Path(tmp), max_cycles=args.max_cycles)
     throughput["trace_replay"] = result
     print(
-        f"trace_replay ({result['kernel']}): {result['cycles_per_second']:,.0f} cycles/s "
+        f"trace_replay ({result['kernel']}, {result['engine']}): "
+        f"{result['cycles_per_second']:,.0f} cycles/s "
         f"({result['cycles']:,} cycles in {result['wall_seconds']:.3f}s, "
         f"decode {result['decode_seconds']:.3f}s)"
     )
 
-    # A fresh temp directory keeps the cold sweep honest.
-    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
-        sweep = measure_sweep(Path(tmp), parallel_jobs=args.jobs)
-    print(
-        f"fast-profile sweep ({sweep['points']} points): "
-        f"cold {sweep['cold_seconds']:.2f}s, warm {sweep['warm_seconds']:.3f}s "
-        f"({sweep['warm_speedup']:.0f}x), "
-        f"parallel({sweep['parallel_jobs']}) {sweep['parallel_seconds']:.2f}s, "
-        f"identical counters: {sweep['parallel_matches_serial']}"
-    )
+    matrix: List[dict] = []
+    if not args.skip_matrix:
+        matrix = measure_matrix(engines=engines, max_cycles=args.matrix_cycles)
+        print(f"matrix: {len(matrix)} rows "
+              f"({len(set(r['kernel'] for r in matrix))} kernels x "
+              f"{len(set(r['scheme'] for r in matrix))} schemes x {len(engines)} engines)")
+        for row in matrix:
+            print(
+                f"  {row['kernel']:<24} {row['scheme']:<12} [{row['engine']}] "
+                f"{row['cycles_per_second']:,.0f} cycles/s"
+            )
+
+    sweep: dict = {}
+    if not args.skip_sweep:
+        # A fresh temp directory keeps the cold sweep honest.
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            sweep = measure_sweep(Path(tmp), parallel_jobs=args.jobs)
+        print(
+            f"fast-profile sweep ({sweep['points']} points): "
+            f"cold {sweep['cold_seconds']:.2f}s, warm {sweep['warm_seconds']:.3f}s "
+            f"({sweep['warm_speedup']:.0f}x), "
+            f"parallel({sweep['parallel_jobs']}) {sweep['parallel_seconds']:.2f}s, "
+            f"identical counters: {sweep['parallel_matches_serial']}"
+        )
 
     entry = {
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "version": __version__,
         "jobs_env": resolve_jobs(),
+        "environment": host_environment(),
         "throughput": throughput,
+        "matrix": matrix,
         "sweep": sweep,
     }
 
+    trajectory = load_trajectory(args.output)
+
+    gate_failed = False
+    if args.gate is not None:
+        fast_rows = throughput.get("fast")
+        legacy_rows = throughput.get("legacy")
+        if fast_rows is None or legacy_rows is None:
+            print("gate: FAIL — the gate needs both engines benchmarked "
+                  "(run with --engines fast,legacy)")
+            gate_failed = True
+        else:
+            # The gate itself is host-independent: fast vs a live legacy run
+            # on this machine, both paying the same host slowdown.
+            for kernel in GATE_KERNELS:
+                fast_cps = float(fast_rows[kernel]["cycles_per_second"])
+                legacy_cps = float(legacy_rows[kernel]["cycles_per_second"])
+                ratio = fast_cps / legacy_cps if legacy_cps else float("inf")
+                verdict = "ok" if ratio >= args.gate else "FAIL"
+                print(
+                    f"gate [{kernel}]: fast {fast_cps:,.0f} vs live legacy "
+                    f"{legacy_cps:,.0f} -> {ratio:.2f}x (need >= {args.gate:.2f}x) {verdict}"
+                )
+                if ratio < args.gate:
+                    gate_failed = True
+            # Context only: the trend against the committed reference-host
+            # baseline (never fails the gate — CI runners differ in speed).
+            for kernel, base_cps in committed_legacy_baseline(trajectory).items():
+                fast_cps = float(fast_rows[kernel]["cycles_per_second"])
+                ratio = fast_cps / base_cps if base_cps else float("inf")
+                print(
+                    f"trend [{kernel}]: fast {fast_cps:,.0f} vs committed legacy "
+                    f"{base_cps:,.0f} -> {ratio:.2f}x (informational)"
+                )
+
     if args.dry_run:
         print(json.dumps(entry, indent=2))
-        return 0
+        return 1 if gate_failed else 0
 
-    trajectory = []
-    if args.output.exists():
-        try:
-            trajectory = json.loads(args.output.read_text())
-            if not isinstance(trajectory, list):
-                trajectory = [trajectory]
-        except (OSError, ValueError):
-            print(f"warning: {args.output} was unreadable; starting a new trajectory")
-            trajectory = []
     trajectory.append(entry)
     args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
     print(f"appended entry #{len(trajectory)} to {args.output}")
-    return 0
+    return 1 if gate_failed else 0
 
 
 if __name__ == "__main__":

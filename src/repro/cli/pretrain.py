@@ -74,10 +74,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     total_kernels = sum(len(benchmark.kernels) for benchmark in benchmarks)
     print(f"profiling {total_kernels} training kernels ({config.label} configuration)...")
 
-    start = time.time()
+    start = time.perf_counter()
     examples = pipeline.collect_examples(benchmarks)
     model = pipeline.fit(examples)
-    elapsed = time.time() - start
+    elapsed = time.perf_counter() - start
 
     error_n, error_p = prediction_errors(model, examples)
     print(f"trained on {model.num_training_kernels} admitted kernels in {elapsed:.1f}s")

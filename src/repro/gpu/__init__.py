@@ -26,6 +26,8 @@ from repro.gpu.config import (
 )
 from repro.gpu.counters import PerfCounters
 from repro.gpu.energy import EnergyModel, EnergyReport
+from repro.gpu.engine import ENGINE_ENV, ENGINES, resolve_engine
+from repro.gpu.fastcore import FastStreamingMultiprocessor
 from repro.gpu.gpu import GPU, RunResult
 from repro.gpu.isa import Instruction, Opcode
 from repro.gpu.sm import StreamingMultiprocessor
@@ -33,9 +35,12 @@ from repro.gpu.warp import Warp
 
 __all__ = [
     "CacheConfig",
+    "ENGINE_ENV",
+    "ENGINES",
     "EnergyConfig",
     "EnergyModel",
     "EnergyReport",
+    "FastStreamingMultiprocessor",
     "GPU",
     "GPUConfig",
     "Instruction",
@@ -47,4 +52,5 @@ __all__ = [
     "StreamingMultiprocessor",
     "Warp",
     "baseline_config",
+    "resolve_engine",
 ]

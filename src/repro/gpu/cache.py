@@ -15,7 +15,7 @@ from typing import List, Optional
 from repro.gpu.config import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     valid: bool = False
     tag: int = -1
@@ -23,7 +23,7 @@ class CacheLine:
     lru_stamp: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheAccessResult:
     """Outcome of a cache access."""
 
@@ -70,7 +70,9 @@ class SetAssociativeCache:
         higher address bits into the index, emulating the hashed set-index
         function of the paper's baseline L1.
         """
-        if not self._hash_indexing:
+        if not self._hash_indexing or self.num_sets == 1:
+            # A direct-mapped-to-one-set cache has nothing to fold (and the
+            # fold loop below would never terminate: ``folded //= 1``).
             return line_addr % self.num_sets
         index = self._index_memo.get(line_addr)
         if index is None:

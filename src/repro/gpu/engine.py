@@ -1,0 +1,51 @@
+"""Simulator-engine selection.
+
+Two engines execute kernels, bit-identically:
+
+* ``legacy`` — :class:`repro.gpu.sm.StreamingMultiprocessor`, the original
+  object-per-warp cycle loop.  It is the *oracle*: readable, heavily
+  unit-tested, and the reference the fast core is differentially verified
+  against.
+* ``fast`` — :class:`repro.gpu.fastcore.FastStreamingMultiprocessor`, a
+  struct-of-arrays rewrite of the same loop (flat warp/L1/MSHR state, fused
+  cycle function, ALU-run batching).  It is the default because every
+  counter it produces is pinned to the legacy core by the golden-counter
+  tests and the differential Hypothesis suite.
+
+Selection is the ``REPRO_ENGINE`` environment variable (``fast`` when
+unset), overridable per call wherever a simulation is built
+(:meth:`repro.gpu.gpu.GPU.build_sm`, the profiler, training, trace capture,
+the throughput benchmarks).  Because the engines are bit-identical, cached
+results are engine-agnostic: no cache key anywhere encodes the engine, so a
+result computed by one engine is a valid cache hit for the other.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Environment variable naming the engine to simulate with.
+ENGINE_ENV = "REPRO_ENGINE"
+
+ENGINE_FAST = "fast"
+ENGINE_LEGACY = "legacy"
+
+#: Every recognised engine name.
+ENGINES = (ENGINE_FAST, ENGINE_LEGACY)
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve an explicit or environment-provided engine name.
+
+    ``engine`` wins when given; otherwise ``REPRO_ENGINE`` is consulted and
+    an unset/empty variable means ``fast``.  Unknown names raise
+    ``ValueError`` rather than silently simulating with the wrong core.
+    """
+    value = engine if engine is not None else os.environ.get(ENGINE_ENV, "")
+    value = value.strip().lower() or ENGINE_FAST
+    if value not in ENGINES:
+        raise ValueError(
+            f"unknown simulator engine {value!r} (expected one of {', '.join(ENGINES)})"
+        )
+    return value

@@ -15,6 +15,8 @@ from typing import Optional, Sequence, Tuple
 from repro.gpu.config import GPUConfig, baseline_config
 from repro.gpu.counters import PerfCounters
 from repro.gpu.energy import EnergyModel, EnergyReport
+from repro.gpu.engine import ENGINE_LEGACY, resolve_engine
+from repro.gpu.fastcore import FastStreamingMultiprocessor
 from repro.gpu.isa import Instruction
 from repro.gpu.sm import CacheManagementPolicy, StreamingMultiprocessor
 
@@ -50,19 +52,36 @@ class RunResult:
 
 
 class GPU:
-    """Facade that runs kernels on the simulated SM."""
+    """Facade that runs kernels on the simulated SM.
 
-    def __init__(self, config: Optional[GPUConfig] = None) -> None:
+    ``engine`` selects the simulator core (``"fast"``/``"legacy"``); when
+    ``None`` the choice is deferred to build time so the ``REPRO_ENGINE``
+    environment variable is honoured even if it changes after construction.
+    Both engines are bit-identical on every counter, so the choice never
+    affects results — only wall-clock.
+    """
+
+    def __init__(self, config: Optional[GPUConfig] = None, engine: Optional[str] = None) -> None:
         self.config = config or baseline_config()
         self.energy_model = EnergyModel(self.config.energy)
+        if engine is not None:
+            engine = resolve_engine(engine)  # fail fast on unknown names
+        self.engine = engine
 
     def build_sm(
         self,
         programs: Sequence[Sequence[Instruction]],
         cache_policy: Optional[CacheManagementPolicy] = None,
         trace_capture=None,
-    ) -> StreamingMultiprocessor:
-        return StreamingMultiprocessor(
+        engine: Optional[str] = None,
+    ):
+        resolved = resolve_engine(engine if engine is not None else self.engine)
+        core = (
+            StreamingMultiprocessor
+            if resolved == ENGINE_LEGACY
+            else FastStreamingMultiprocessor
+        )
+        return core(
             self.config, programs, cache_policy=cache_policy, trace_capture=trace_capture
         )
 
@@ -74,6 +93,7 @@ class GPU:
         max_cycles: Optional[int] = None,
         cache_policy: Optional[CacheManagementPolicy] = None,
         trace_capture=None,
+        engine: Optional[str] = None,
     ) -> RunResult:
         """Execute a kernel.
 
@@ -87,8 +107,11 @@ class GPU:
             cache_policy: optional instruction-based cache management hook.
             trace_capture: optional issued-stream recorder
                 (:class:`repro.trace.capture.TraceCapture`).
+            engine: simulator core override (``"fast"``/``"legacy"``).
         """
-        sm = self.build_sm(programs, cache_policy=cache_policy, trace_capture=trace_capture)
+        sm = self.build_sm(
+            programs, cache_policy=cache_policy, trace_capture=trace_capture, engine=engine
+        )
         budget = max_cycles if max_cycles is not None else self.config.max_cycles
         telemetry: dict = {}
         if controller is not None:

@@ -18,7 +18,7 @@ from repro.gpu.cache import SetAssociativeCache
 from repro.gpu.config import MemoryConfig
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryResponse:
     """Timing outcome of a request sent past the L1."""
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     line_addr: int
     waiters: List[Tuple[int, int]] = field(default_factory=list)  # (warp_id, token)

@@ -20,9 +20,14 @@ from repro.gpu.isa import Instruction
 _NO_BLOCK = sys.maxsize
 
 
-@dataclass
+@dataclass(slots=True)
 class OutstandingLoad:
-    """Book-keeping for a load whose data has not yet returned."""
+    """Book-keeping for a load whose data has not yet returned.
+
+    Slotted: the legacy core allocates one of these per missing load, and the
+    differential fuzz loop runs the legacy oracle alongside the fast core, so
+    the record stays lean.
+    """
 
     token: int
     issue_index: int
@@ -34,7 +39,7 @@ class OutstandingLoad:
         return self.issue_index + self.dep_distance + 1
 
 
-@dataclass
+@dataclass(slots=True)
 class Warp:
     """Execution state of a single warp."""
 
@@ -44,6 +49,10 @@ class Warp:
     outstanding: Dict[int, OutstandingLoad] = field(default_factory=dict)
     issued_instructions: int = 0
     exited: bool = False
+    # Derived state (filled by __post_init__); declared as fields so the
+    # dataclass can generate __slots__ for them.
+    _program_len: int = field(init=False, repr=False, compare=False, default=0)
+    _min_first_dep: int = field(init=False, repr=False, compare=False, default=_NO_BLOCK)
 
     def __post_init__(self) -> None:
         if not self.program:

@@ -90,6 +90,7 @@ class KernelProfiler:
         n_step: int = 1,
         p_step: int = 1,
         executor: Optional[SweepExecutor] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.config = config or baseline_config()
         self.cycles_per_point = cycles_per_point
@@ -97,6 +98,10 @@ class KernelProfiler:
         self.n_step = max(1, n_step)
         self.p_step = max(1, p_step)
         self.executor = executor
+        # Simulator-core selection; ``None`` defers to REPRO_ENGINE at build
+        # time.  Both engines are bit-identical, so a profile never records
+        # which one measured it.
+        self.engine = engine
 
     def _grid_points(self, max_warps: int) -> List[Tuple[int, int]]:
         points: List[Tuple[int, int]] = []
@@ -126,7 +131,7 @@ class KernelProfiler:
         at runtime (Section VI-A).  ``programs`` may be supplied to avoid
         regenerating the kernel's traces for every grid point.
         """
-        gpu = GPU(self.config)
+        gpu = GPU(self.config, engine=self.engine)
         if programs is None:
             programs = generate_kernel_programs(spec)
         sm = gpu.build_sm(programs)
@@ -176,7 +181,15 @@ class KernelProfiler:
             results = executor.map(
                 _measure_point_job,
                 [
-                    (self.config, spec, n, p, self.cycles_per_point, self.warmup_cycles)
+                    (
+                        self.config,
+                        spec,
+                        n,
+                        p,
+                        self.cycles_per_point,
+                        self.warmup_cycles,
+                        self.engine,
+                    )
                     for n, p in points
                 ],
             )
@@ -196,6 +209,7 @@ def _measure_point_job(
     p: int,
     cycles_per_point: int,
     warmup_cycles: int,
+    engine: Optional[str] = None,
 ) -> RunResult:
     """Module-level worker for one grid point (must be picklable).
 
@@ -204,7 +218,10 @@ def _measure_point_job(
     the ones a serial sweep uses.
     """
     profiler = KernelProfiler(
-        config=config, cycles_per_point=cycles_per_point, warmup_cycles=warmup_cycles
+        config=config,
+        cycles_per_point=cycles_per_point,
+        warmup_cycles=warmup_cycles,
+        engine=engine,
     )
     return profiler.measure_point(spec, n, p)
 
@@ -229,6 +246,7 @@ def measure_pbest(
     cycles: int = 12_000,
     warmup_cycles: int = 20_000,
     l1_scale: int = 64,
+    engine: Optional[str] = None,
 ) -> float:
     """Memory sensitivity metric: speedup with an ``l1_scale``× larger L1.
 
@@ -241,7 +259,7 @@ def measure_pbest(
     max_warps = min(config.max_warps, spec.num_warps)
 
     def run(cfg: GPUConfig) -> float:
-        sm = GPU(cfg).build_sm(programs)
+        sm = GPU(cfg, engine=engine).build_sm(programs)
         sm.set_warp_tuple(max_warps, max_warps)
         if warmup_cycles:
             sm.run_cycles(warmup_cycles)

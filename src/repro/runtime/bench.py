@@ -8,27 +8,112 @@ Two workloads bracket the simulator's behaviour:
   and the scheduler's greedy path.
 
 ``measure_throughput`` reports simulated cycles per wall-clock second —
-the BENCH trajectory metric for the hot loop.  ``measure_sweep`` times the
-fast-profile warp-tuple sweep cold (every point simulated, the seed's
-serial path) and warm (served from the persistent result cache), plus a
-parallel re-sweep used to check counter equivalence.
+the BENCH trajectory metric for the hot loop — for either engine.
+``measure_matrix`` expands that to the full scheme matrix: every evaluation
+scheme (gto/swl/pcal/poise/static_best) × representative synthetic and
+trace-family kernels × both engines, one row per combination, so the
+committed trajectory accumulates comparable data points instead of a single
+snapshot.  ``measure_sweep`` times the fast-profile warp-tuple sweep cold
+(every point simulated, the seed's serial path) and warm (served from the
+persistent result cache), plus a parallel re-sweep used to check counter
+equivalence.
+
+All wall-clock measurement uses ``time.perf_counter`` and every record
+carries the ``engine`` that produced it plus the host ``python_version``
+and ``cpu_count`` for cross-run comparability.
 """
 
 from __future__ import annotations
 
 import contextlib
+import gc
+import json
 import os
+import platform
+import sys
 import time
 from dataclasses import replace
 from pathlib import Path
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.gpu.config import baseline_config
+from repro.gpu.engine import resolve_engine
 from repro.gpu.gpu import GPU
 from repro.profiling.profiler import KernelProfiler
 from repro.runtime.executor import SweepExecutor
 from repro.workloads.generator import generate_kernel_programs
 from repro.workloads.spec import KernelSpec
+
+#: The scheme matrix benchmarked by ``measure_matrix`` / ``repro bench``.
+MATRIX_SCHEMES = ("gto", "swl", "pcal", "poise", "static_best")
+
+#: The two bracket kernels perf gates compare across engines/baselines.
+GATE_KERNELS = ("bench_memory_divergent", "bench_compute_intensive")
+
+
+def host_environment() -> Dict[str, object]:
+    """Host metadata for cross-run comparability (no engine: a trajectory
+    entry can mix rows from several engines; the per-row field is
+    authoritative)."""
+    return {
+        "python_version": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def bench_environment(engine: Optional[str] = None) -> Dict[str, object]:
+    """Host/engine metadata folded into every bench record."""
+    record = {"engine": resolve_engine(engine)}
+    record.update(host_environment())
+    return record
+
+
+def load_trajectory(path: Path) -> List[dict]:
+    """Read a ``BENCH_throughput.json`` trajectory (empty on a fresh file; a
+    single bare entry is wrapped in a list).  An unreadable or corrupt file
+    is loudly reported — appending after this returns ``[]`` starts a fresh
+    trajectory, which must never happen silently."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        trajectory = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        print(
+            f"warning: {path} was unreadable ({error}); starting a new trajectory",
+            file=sys.stderr,
+        )
+        return []
+    if not isinstance(trajectory, list):
+        trajectory = [trajectory]
+    return trajectory
+
+
+def committed_legacy_baseline(
+    trajectory: Sequence[dict], kernels: Sequence[str] = GATE_KERNELS
+) -> Dict[str, float]:
+    """Per-kernel cycles/second of the committed legacy baseline.
+
+    The earliest trajectory entry whose throughput rows are legacy for all
+    ``kernels``.  Entries from before the engine seam keep their rows flat
+    (``throughput[kernel]``) and carry no ``engine`` field — they were
+    measured on the legacy core by definition; newer entries nest rows per
+    engine (``throughput["legacy"][kernel]``).
+    """
+    for entry in trajectory:
+        throughput = entry.get("throughput") or {}
+        baseline: Dict[str, float] = {}
+        for kernel in kernels:
+            record = throughput.get(kernel)
+            if record is None and isinstance(throughput.get("legacy"), dict):
+                record = throughput["legacy"].get(kernel)
+            if not isinstance(record, dict) or record.get("engine", "legacy") != "legacy":
+                break
+            baseline[kernel] = float(record["cycles_per_second"])
+        else:
+            if baseline:
+                return baseline
+    return {}
 
 
 @contextlib.contextmanager
@@ -77,15 +162,39 @@ def compute_intensive_kernel() -> KernelSpec:
     )
 
 
-def measure_throughput(spec: KernelSpec, max_cycles: int = 80_000) -> Dict[str, float]:
-    """Run one kernel and report simulated cycles per wall-clock second."""
+def measure_throughput(
+    spec: KernelSpec,
+    max_cycles: int = 80_000,
+    engine: Optional[str] = None,
+    rounds: int = 1,
+) -> Dict[str, float]:
+    """Run one kernel and report simulated cycles per wall-clock second.
+
+    ``rounds`` > 1 repeats the run and keeps the fastest round — simulated
+    counters are deterministic, so extra rounds only reduce timer noise.
+    """
     config = baseline_config(max_cycles=max_cycles)
-    gpu = GPU(config)
+    gpu = GPU(config, engine=engine)
     programs = generate_kernel_programs(spec)
-    start = time.perf_counter()
-    result = gpu.run_kernel(programs, max_cycles=max_cycles)
-    elapsed = max(time.perf_counter() - start, 1e-9)
-    return {
+    elapsed = None
+    result = None
+    # A cyclic-GC pass triggered by unrelated live heaps (e.g. earlier tests
+    # in the same process) can land inside the timed region and dominate a
+    # ~20 ms run; collect up front and pause the collector while timing.
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(max(1, rounds)):
+            start = time.perf_counter()
+            result = gpu.run_kernel(programs, max_cycles=max_cycles)
+            round_elapsed = max(time.perf_counter() - start, 1e-9)
+            if elapsed is None or round_elapsed < elapsed:
+                elapsed = round_elapsed
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    record = {
         "kernel": spec.name,
         "cycles": result.counters.cycles,
         "instructions": result.counters.instructions,
@@ -93,6 +202,8 @@ def measure_throughput(spec: KernelSpec, max_cycles: int = 80_000) -> Dict[str, 
         "cycles_per_second": result.counters.cycles / elapsed,
         "instructions_per_second": result.counters.instructions / elapsed,
     }
+    record.update(bench_environment(engine))
+    return record
 
 
 def trace_replay_kernel(trace_dir: Path) -> "KernelSpec":
@@ -123,7 +234,9 @@ def trace_replay_kernel(trace_dir: Path) -> "KernelSpec":
     )
 
 
-def measure_trace_replay(trace_dir: Path, max_cycles: int = 80_000) -> Dict[str, float]:
+def measure_trace_replay(
+    trace_dir: Path, max_cycles: int = 80_000, engine: Optional[str] = None
+) -> Dict[str, float]:
     """Trace-replay throughput: decode wall-clock plus replay cycles/second."""
     from repro.workloads.generator import generate_kernel_programs
 
@@ -132,10 +245,143 @@ def measure_trace_replay(trace_dir: Path, max_cycles: int = 80_000) -> Dict[str,
     programs = generate_kernel_programs(spec)  # decode only (replay bypasses the cache)
     decode_seconds = max(time.perf_counter() - start, 1e-9)
     decoded_instructions = sum(len(program) for program in programs)
-    result = measure_throughput(spec, max_cycles=max_cycles)
+    result = measure_throughput(spec, max_cycles=max_cycles, engine=engine)
     result["decode_seconds"] = decode_seconds
     result["instructions_decoded_per_second"] = decoded_instructions / decode_seconds
     return result
+
+
+# ---------------------------------------------------------------------------
+# The scheme × kernel × engine matrix
+# ---------------------------------------------------------------------------
+
+
+def matrix_kernels() -> List[Dict[str, object]]:
+    """Representative kernels for the bench matrix: the two synthetic
+    bracket kernels plus two structured trace families (regular stencil
+    reuse and dependent-gather pointer chasing)."""
+    from repro.trace.families import family_kernel
+
+    return [
+        {"kind": "synthetic", "spec": memory_divergent_kernel()},
+        {"kind": "synthetic", "spec": compute_intensive_kernel()},
+        {
+            "kind": "trace",
+            "spec": family_kernel(
+                "stencil", "bench_stencil", seed=13,
+                params=(("width", 96), ("rows_per_warp", 4)),
+            ),
+        },
+        {
+            "kind": "trace",
+            "spec": family_kernel("gather", "bench_gather", seed=17),
+        },
+    ]
+
+
+def _matrix_model():
+    """Fixed-weight Poise model so the matrix needs no training pipeline
+    (the same weights the golden-counter fixture pins)."""
+    from repro.core.training import TrainedModel
+
+    return TrainedModel(
+        alpha_weights=[0.02, -0.03, 0.05, 0.01, -0.02, 0.04, 0.60, 0.30],
+        beta_weights=[0.01, -0.02, 0.03, 0.02, -0.01, 0.02, 0.30, 0.15],
+        max_warps=24,
+        dispersion_n=0.1,
+        dispersion_p=0.1,
+        num_training_kernels=0,
+    )
+
+
+def _matrix_controller(scheme: str, profile, model):
+    from repro.core.inference import PoiseParameters
+    from repro.core.poise import PoiseController
+    from repro.schedulers import (
+        GTOController,
+        PCALController,
+        StaticBestController,
+        SWLController,
+    )
+
+    if scheme == "gto":
+        return GTOController()
+    if scheme == "swl":
+        return SWLController(profile=profile)
+    if scheme == "pcal":
+        return PCALController(profile=profile)
+    if scheme == "static_best":
+        return StaticBestController(profile=profile)
+    if scheme == "poise":
+        return PoiseController(
+            model,
+            PoiseParameters(
+                t_period=30_000, t_warmup=1_000, t_feature=4_000, t_search=1_200,
+                threshold_cycles=2_000,
+            ),
+        )
+    raise ValueError(f"unknown matrix scheme {scheme!r}")
+
+
+def measure_matrix(
+    engines: Sequence[str] = ("fast", "legacy"),
+    schemes: Sequence[str] = MATRIX_SCHEMES,
+    max_cycles: int = 40_000,
+    kernels: Optional[Sequence[Dict[str, object]]] = None,
+) -> List[Dict[str, object]]:
+    """Benchmark every scheme × kernel × engine combination.
+
+    Returns one record per combination with simulated cycles per wall-clock
+    second and host metadata.  Profile-based schemes (swl/pcal/static_best)
+    share one subsampled static profile per kernel, computed outside the
+    timed region with the fast engine (profiles are engine-agnostic by
+    bit-identity); Poise uses the fixed-weight model, so the matrix needs no
+    training pipeline and is deterministic end to end.
+    """
+    kernels = list(kernels if kernels is not None else matrix_kernels())
+    engines = [resolve_engine(engine) for engine in engines]
+    config = baseline_config(max_cycles=max_cycles)
+    model = _matrix_model()
+    rows: List[Dict[str, object]] = []
+    profile_schemes = {"swl", "pcal", "static_best"}
+    for entry in kernels:
+        spec = entry["spec"]
+        programs = generate_kernel_programs(spec)
+        profile = None
+        if profile_schemes.intersection(schemes):
+            profiler = KernelProfiler(
+                config=config,
+                cycles_per_point=2_000,
+                warmup_cycles=2_000,
+                n_step=6,
+                p_step=6,
+                engine="fast",
+            )
+            profile = profiler.profile(spec)
+        for scheme in schemes:
+            for engine in engines:
+                gpu = GPU(config, engine=engine)
+                controller = _matrix_controller(scheme, profile, model)
+                start = time.perf_counter()
+                result = gpu.run_kernel(
+                    programs, controller=controller, max_cycles=max_cycles
+                )
+                elapsed = max(time.perf_counter() - start, 1e-9)
+                row = {
+                    "kernel": spec.name,
+                    "kind": entry["kind"],
+                    "scheme": scheme,
+                    "cycles": result.counters.cycles,
+                    "instructions": result.counters.instructions,
+                    "wall_seconds": elapsed,
+                    "cycles_per_second": result.counters.cycles / elapsed,
+                    "instructions_per_second": result.counters.instructions / elapsed,
+                    "warp_tuple": list(result.warp_tuple),
+                    "completed": result.completed,
+                }
+                row.update(bench_environment(engine))
+                rows.append(row)
+    return rows
 
 
 def measure_sweep(

@@ -75,13 +75,16 @@ def capture_kernel(
     spec,
     config=None,
     max_cycles: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> Tuple[TraceCapture, "object"]:
     """Run ``spec`` to completion under plain GTO and capture its stream.
 
     Returns ``(capture, run_result)``.  The cycle budget defaults to a
     generous multiple of the kernel's instruction count; if the kernel still
     does not finish, the capture would be a silent prefix, so this raises
-    instead.
+    instead.  ``engine`` picks the simulator core (``None`` defers to
+    ``REPRO_ENGINE``); captures are engine-agnostic because both cores issue
+    the exact same stream.
     """
     from repro.gpu.config import baseline_config
     from repro.gpu.gpu import GPU
@@ -94,7 +97,7 @@ def capture_kernel(
         # budget a wide margin above the instruction count.
         max_cycles = 50_000 + 16 * sum(len(program) for program in programs)
     capture = TraceCapture()
-    gpu = GPU(config.with_max_cycles(max_cycles))
+    gpu = GPU(config.with_max_cycles(max_cycles), engine=engine)
     result = gpu.run_kernel(programs, max_cycles=max_cycles, trace_capture=capture)
     if not result.completed:
         raise RuntimeError(
@@ -109,6 +112,7 @@ def capture_kernel_to_file(
     path: Union[str, Path],
     config=None,
     max_cycles: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> Tuple[str, "object"]:
     """Capture ``spec`` and write the trace to ``path``.
 
@@ -118,7 +122,9 @@ def capture_kernel_to_file(
     """
     import dataclasses
 
-    capture, result = capture_kernel(spec, config=config, max_cycles=max_cycles)
+    capture, result = capture_kernel(
+        spec, config=config, max_cycles=max_cycles, engine=engine
+    )
     content_hash = capture.write(
         path,
         kernel_name=spec.name,

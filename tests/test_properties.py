@@ -117,7 +117,17 @@ def test_selected_target_is_a_profiled_point(grid):
 @settings(max_examples=40, deadline=None)
 def test_uniform_scaling_does_not_change_selected_target(grid, scale):
     scaled = {point: value * scale for point, value in grid.items()}
-    assert select_training_target(grid).point == select_training_target(scaled).point
+    original = select_training_target(grid)
+    rescaled = select_training_target(scaled)
+    if rescaled.point != original.point:
+        # Scoring normalises by the neighbour weight sum, so two points with
+        # mathematically equal scores can land on either side of a tie after
+        # the multiplication rounds differently.  Selection is only required
+        # to be scale-stable between points whose scores genuinely differ.
+        scores = score_grid(grid)
+        assert math.isclose(
+            scores[rescaled.point], scores[original.point], rel_tol=1e-9
+        )
 
 
 # ---------------------------------------------------------------------------
