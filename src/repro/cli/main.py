@@ -4,6 +4,7 @@ Examples::
 
     python -m repro list --workloads
     python -m repro run fig07 fig08 --fast
+    python -m repro sweep run l1-trace --fast --shard 1/2 --resume
     python -m repro trace gen --out /tmp/traces
     python -m repro run-all --fast --jobs 4 --cache-dir /tmp/poise
     python -m repro report --fast
@@ -120,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers.add_parser(
         "trace", help="trace capture/replay/gen/info tools", add_help=False
+    )
+    subparsers.add_parser(
+        "sweep", help="declarative scenario-grid sweeps (run|plan|report|list)",
+        add_help=False,
     )
     return parser
 
@@ -270,6 +275,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.cli.trace import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        from repro.cli.sweep import main as sweep_main
+
+        return sweep_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)

@@ -15,13 +15,13 @@ from __future__ import annotations
 
 import datetime
 import json
-import os
 import time
 from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.experiments import registry
+from repro.runtime.cache import atomic_write_json
 from repro.version import __version__
 
 ARTIFACT_FORMAT_VERSION = 1
@@ -73,11 +73,7 @@ def write_artifact(
 ) -> Path:
     """Atomically write one artifact; returns the path written."""
     path = artifact_path(cache_dir, label, str(payload["experiment_id"]))
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    os.replace(tmp, path)
-    return path
+    return atomic_write_json(path, payload, indent=2, trailing_newline=True)
 
 
 def load_artifacts(cache_dir: Union[str, Path], label: str) -> List[Dict[str, object]]:

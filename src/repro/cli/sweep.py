@@ -1,0 +1,263 @@
+"""``repro sweep`` — declarative scenario-grid sweeps.
+
+Subcommands::
+
+    repro sweep list                                    # named grids
+    repro sweep plan  GRID [--shard K/N] [--set ...]    # expansion, no runs
+    repro sweep run   GRID [--shard K/N] [--resume] [--jobs N] [--set ...]
+    repro sweep report GRID [--set ...]                 # aggregate + validate
+
+``--shard K/N`` (1-based) runs the K-th of N disjoint, order-stable slices
+of the grid: N containers pointed at N shards write disjoint per-point
+artifacts whose union is byte-identical to one full run.  ``--resume``
+skips points whose artifact already validates, so an interrupted (or
+partially-sharded) sweep continues where it stopped; a corrupt artifact is
+an error naming the file rather than a silent recompute.  ``--set
+AXIS=V1,V2`` overrides an axis of a named grid (tuple-valued axes use
+colons, e.g. ``--set poise_strides=0:0,2:4``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import Table
+from repro.scenarios.grid import ScenarioError, ScenarioGrid, parse_shard
+from repro.scenarios.library import get_grid, named_grids
+from repro.scenarios.report import (
+    SweepSchema,
+    aggregate,
+    sweep_tables,
+    write_sweep_artifact,
+)
+from repro.scenarios.runner import CorruptPointArtifact, PointStatus, SweepRunner
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("grid", metavar="GRID", help="a named grid (see `repro sweep list`)")
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument("--fast", action="store_true", help="scaled-down test configuration")
+    scale.add_argument("--full", action="store_true", help="paper-shaped configuration (default)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="artifact/result cache root (default: REPRO_CACHE_DIR)")
+    parser.add_argument(
+        "--set", action="append", default=[], metavar="AXIS=V1,V2", dest="overrides",
+        help="override one axis of the grid (repeatable); tuple values use "
+        "colons, e.g. --set poise_strides=0:0,2:4",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep", description="declarative scenario-grid sweeps"
+    )
+    sub = parser.add_subparsers(dest="sweep_command", metavar="SUBCOMMAND", required=True)
+
+    sub.add_parser("list", help="catalogue of the named grids")
+
+    plan = sub.add_parser("plan", help="print a grid's expansion without running it")
+    _add_common(plan)
+    plan.add_argument("--shard", default=None, metavar="K/N",
+                      help="restrict the plan to one shard of the grid")
+
+    run = sub.add_parser("run", help="execute a grid (or one shard) into point artifacts")
+    _add_common(run)
+    run.add_argument("--shard", default=None, metavar="K/N",
+                     help="run the K-th of N disjoint slices of the grid")
+    run.add_argument("--resume", action="store_true",
+                     help="skip points whose artifact already validates")
+    run.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="fan points out over N worker processes")
+
+    report = sub.add_parser("report", help="aggregate point artifacts into the sweep artifact")
+    _add_common(report)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# axis-override parsing
+# ---------------------------------------------------------------------------
+
+def _parse_override_value(axis: str, token: str) -> Any:
+    token = token.strip()
+    if token.lower() == "none":
+        return None
+    if axis in ("l1_scale", "max_warps"):
+        try:
+            return int(token)
+        except ValueError:
+            raise ScenarioError(f"axis {axis!r}: {token!r} is not an integer") from None
+    if axis == "poise_strides":
+        parts = token.split(":")
+        if len(parts) != 2:
+            raise ScenarioError(
+                f"axis {axis!r}: {token!r} is not an N:P stride pair (e.g. 2:4)"
+            )
+        try:
+            return (int(parts[0]), int(parts[1]))
+        except ValueError:
+            raise ScenarioError(f"axis {axis!r}: {token!r} is not an N:P stride pair") from None
+    if axis == "feature_mask":
+        try:
+            return tuple(int(part) for part in token.split(":"))
+        except ValueError:
+            raise ScenarioError(
+                f"axis {axis!r}: {token!r} is not a colon-separated index list (e.g. 5:6)"
+            ) from None
+    return token
+
+
+def _apply_overrides(grid: ScenarioGrid, overrides: Sequence[str]) -> ScenarioGrid:
+    """Apply ``--set`` overrides, deriving a distinct grid name.
+
+    An overridden grid is a *different* grid, so it gets its own artifact
+    tree (``<name>@<axes-digest>``): override runs can never mix points into
+    — or clobber the ``sweep.json`` of — the canonical named grid, and the
+    digest is deterministic, so sharded/resumed runs of the same overrides
+    still converge on one directory.
+    """
+    parsed: Dict[str, List[Any]] = {}
+    for override in overrides:
+        axis, separator, raw = override.partition("=")
+        axis = axis.strip()
+        if not separator or not raw.strip():
+            raise ScenarioError(
+                f"malformed --set {override!r} — expected AXIS=V1,V2 (e.g. scheme=gto,poise)"
+            )
+        parsed[axis] = [
+            _parse_override_value(axis, token) for token in raw.split(",") if token.strip()
+        ]
+    if not parsed:
+        return grid
+    derived = grid.with_axes(**parsed)
+    canonical = json.dumps(
+        {
+            axis: [list(value) if isinstance(value, tuple) else value for value in values]
+            for axis, values in derived.axes.items()
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:8]
+    return ScenarioGrid(
+        f"{grid.name}@{digest}", derived.axes, description=derived.description
+    )
+
+
+# ---------------------------------------------------------------------------
+# shared setup
+# ---------------------------------------------------------------------------
+
+def _resolve(args: argparse.Namespace) -> Tuple[ScenarioGrid, "ExperimentConfig"]:
+    from dataclasses import replace
+    from pathlib import Path
+
+    from repro.experiments.common import preset_config
+
+    if args.cache_dir:
+        # Export so sweep workers and nested components agree with the flag.
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    grid = _apply_overrides(get_grid(args.grid), args.overrides)
+    config = preset_config("fast" if args.fast else "full")
+    if args.cache_dir:
+        config = replace(config, cache_dir=Path(args.cache_dir))
+    return grid, config
+
+
+def _shard(args: argparse.Namespace) -> Optional[Tuple[int, int]]:
+    if getattr(args, "shard", None) is None:
+        return None
+    return parse_shard(args.shard)
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+def _cmd_list() -> int:
+    table = Table(
+        title="Named sweep grids",
+        columns=["grid", "points", "axes", "description"],
+    )
+    for name, grid in sorted(named_grids().items()):
+        axes = " × ".join(f"{axis}[{len(values)}]" for axis, values in grid.axes.items())
+        table.add_row(name, grid.size, axes, grid.description)
+    print(table.to_text())
+    print(f"\n{len(table.rows)} grids registered")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    grid, config = _resolve(args)
+    shard = _shard(args)
+    runner = SweepRunner(grid, config)
+    points = grid.shard(*shard) if shard else grid.points()
+    scope = f"shard {args.shard} of " if shard else ""
+    table = Table(
+        title=f"Plan — {scope}{grid.name} ({config.label}), {len(points)} of {grid.size} points",
+        columns=["point_id", "scenario", "artifact"],
+    )
+    for point in points:
+        status = "present" if runner.point_path(point).exists() else "missing"
+        table.add_row(point.point_id, point.describe(), status)
+    print(table.to_text())
+    print(f"\nartifacts land under {runner.root}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    grid, config = _resolve(args)
+    shard = _shard(args)
+    runner = SweepRunner(grid, config)
+
+    def progress(status: PointStatus) -> None:
+        print(f"{status.status:<9} {status.point.point_id:<40} {status.path}", flush=True)
+
+    statuses = runner.run(shard=shard, resume=args.resume, jobs=args.jobs, progress=progress)
+    computed = sum(1 for status in statuses if status.status == "computed")
+    skipped = len(statuses) - computed
+    scope = f"shard {args.shard}" if shard else "full grid"
+    print(
+        f"\nsweep {grid.name} ({config.label}, {scope}): "
+        f"{computed} computed, {skipped} skipped, artifacts under {runner.root}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    grid, config = _resolve(args)
+    payload = aggregate(grid, config)
+    SweepSchema().validate(payload)
+    path = write_sweep_artifact(payload, config.cache_dir)
+    for table in sweep_tables(payload):
+        print(table.to_text())
+        print()
+    print(f"{payload['num_points']} points aggregated — sweep artifact at {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.sweep_command == "list":
+        return _cmd_list()
+    try:
+        if args.sweep_command == "plan":
+            return _cmd_plan(args)
+        if args.sweep_command == "run":
+            return _cmd_run(args)
+        if args.sweep_command == "report":
+            return _cmd_report(args)
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        # A corrupt artifact is an execution failure (1); a bad grid, axis
+        # value or shard spec is a usage error (2).
+        return 1 if isinstance(error, CorruptPointArtifact) else 2
+    raise AssertionError(f"unhandled subcommand {args.sweep_command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,12 +33,13 @@ from repro.workloads.spec import KernelSpec
 
 DEFAULT_SCHEMES = "gto,swl,pcal,poise,static_best"
 
-#: Scheme names _build_controller accepts (validated before any heavy work,
-#: so `--schemes poise,typo` fails fast instead of after model training).
-_KNOWN_SCHEMES = frozenset(
-    {"gto", "swl", "pcal", "static_best", "ccws", "random_restart", "apcm",
-     "poise", "poise_nosearch"}
-)
+
+def _known_schemes() -> frozenset:
+    """Scheme names _build_controller accepts (validated before any heavy
+    work, so `--schemes poise,typo` fails fast instead of after training)."""
+    from repro.experiments.common import KNOWN_SCHEMES
+
+    return frozenset(KNOWN_SCHEMES)
 
 
 def _default_out_dir() -> Path:
@@ -244,11 +245,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         os.environ["REPRO_CACHE_DIR"] = args.cache_dir
     config = preset_config("fast" if args.fast else "full")
     schemes = [scheme.strip() for scheme in args.schemes.split(",") if scheme.strip()]
-    unknown = sorted(set(schemes) - _KNOWN_SCHEMES)
+    known_schemes = _known_schemes()
+    unknown = sorted(set(schemes) - known_schemes)
     if unknown:
         print(
             f"error: unknown scheme(s) {', '.join(unknown)} "
-            f"(known: {', '.join(sorted(_KNOWN_SCHEMES))})",
+            f"(known: {', '.join(sorted(known_schemes))})",
             file=sys.stderr,
         )
         return 2

@@ -51,6 +51,13 @@ from repro.workloads.spec import BenchmarkSpec, KernelSpec
 #: The schemes compared in the headline figures (Fig. 7/8/9/14).
 EVALUATION_SCHEMES: Tuple[str, ...] = ("gto", "swl", "pcal", "poise", "static_best")
 
+#: Every scheme name :func:`_build_controller` accepts — the single source of
+#: truth the trace CLI and the scenario-grid validation check against.
+KNOWN_SCHEMES: Tuple[str, ...] = (
+    "gto", "swl", "pcal", "static_best", "ccws", "random_restart", "apcm",
+    "poise", "poise_nosearch",
+)
+
 #: Default location of the pre-trained model shipped with the package (the
 #: equivalent of the vendor-supplied feature weights of Table II).
 PRETRAINED_MODEL_PATH = Path(__file__).resolve().parent.parent / "data" / "pretrained_model.json"
@@ -294,8 +301,18 @@ def _run_key_payload(
     }
 
 
-def get_profile(spec: KernelSpec, config: ExperimentConfig) -> StaticProfile:
-    """Profile a kernel over the warp-tuple grid, with memory + disk caching."""
+def get_profile(
+    spec: KernelSpec, config: ExperimentConfig, use_cache: bool = True
+) -> StaticProfile:
+    """Profile a kernel over the warp-tuple grid, with memory + disk caching.
+
+    ``use_cache=False`` computes the profile directly — no cache is read *or
+    populated* — so an engine-pinned scenario point genuinely executes its
+    profiling sweep on the named engine instead of inheriting (or seeding)
+    the engine-agnostic caches.
+    """
+    if not use_cache:
+        return config.profiler().profile(spec)
     key = (spec, config.cache_key)
     profile = _PROFILE_CACHE.get(key)
     if profile is not None:
@@ -376,17 +393,18 @@ def _build_controller(
     spec: KernelSpec,
     config: ExperimentConfig,
     model: Optional[TrainedModel],
+    use_cache: bool = True,
 ):
     """Return (controller, cache_policy) for a scheme name."""
     scheme = scheme.lower()
     if scheme == "gto":
         return GTOController(), None
     if scheme == "swl":
-        return SWLController(profile=get_profile(spec, config)), None
+        return SWLController(profile=get_profile(spec, config, use_cache=use_cache)), None
     if scheme == "pcal":
-        return PCALController(profile=get_profile(spec, config)), None
+        return PCALController(profile=get_profile(spec, config, use_cache=use_cache)), None
     if scheme == "static_best":
-        return StaticBestController(profile=get_profile(spec, config)), None
+        return StaticBestController(profile=get_profile(spec, config, use_cache=use_cache)), None
     if scheme == "ccws":
         return CCWSController(), None
     if scheme == "random_restart":
@@ -435,7 +453,9 @@ def run_scheme_on_kernel(
             if result is not None:
                 _RUN_CACHE[key] = result
                 return result
-    controller, cache_policy = _build_controller(scheme, spec, config, model)
+    controller, cache_policy = _build_controller(
+        scheme, spec, config, model, use_cache=use_cache
+    )
     gpu = GPU(config.gpu)
     programs = generate_kernel_programs(spec)
     result = gpu.run_kernel(
@@ -531,19 +551,25 @@ def run_scheme_on_benchmark(
     benchmark_name: str,
     config: ExperimentConfig,
     model: Optional[TrainedModel] = None,
+    use_cache: bool = True,
 ) -> BenchmarkOutcome:
     """Run every (limited) kernel of a benchmark under a scheme and aggregate.
 
     Per-kernel speedups are relative to the GTO baseline run of the same
     kernel; the benchmark-level speedup is their harmonic mean, matching the
     aggregation used in the paper's per-benchmark bars.
+
+    ``use_cache=False`` bypasses the memory and disk result caches for every
+    run (baseline included) — the scenario runner uses this for points that
+    pin a simulator engine, because the caches are engine-agnostic.
     """
     benchmark = get_benchmark(benchmark_name)
     kernels = config.limited_kernels(benchmark)
     pairs: List[Tuple[str, KernelSpec]] = [("gto", spec) for spec in kernels]
     if scheme != "gto":
         pairs.extend((scheme, spec) for spec in kernels)
-    prefetch_runs(pairs, config, model=model)
+    if use_cache:
+        prefetch_runs(pairs, config, model=model)
     speedups: List[float] = []
     hit_rates: List[float] = []
     amls: List[float] = []
@@ -555,11 +581,11 @@ def run_scheme_on_benchmark(
     telemetry: Dict[str, object] = {}
 
     for spec in kernels:
-        baseline = run_scheme_on_kernel("gto", spec, config)
+        baseline = run_scheme_on_kernel("gto", spec, config, use_cache=use_cache)
         result = (
             baseline
             if scheme == "gto"
-            else run_scheme_on_kernel(scheme, spec, config, model=model)
+            else run_scheme_on_kernel(scheme, spec, config, model=model, use_cache=use_cache)
         )
         kernel_results[spec.name] = result
         speedups.append(max(result.speedup_over(baseline), 1e-6))

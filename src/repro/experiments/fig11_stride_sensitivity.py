@@ -3,8 +3,9 @@
 The paper sweeps the stride pairs (0,0), (1,1), (2,2), (2,4) and (4,4):
 with no search at all Poise still beats SWL (harmonic-mean 1.23), and the
 speedup grows and then saturates as the stride increases, with (2,4) the
-best at 1.466.  The reproduction reruns Poise with each stride pair and
-reports the per-benchmark and harmonic-mean speedups.
+best at 1.466.  The reproduction declares the sweep as a
+:class:`~repro.scenarios.grid.ScenarioGrid` (``fig11-strides``) and reports
+the per-benchmark and harmonic-mean speedups of its points.
 """
 
 from __future__ import annotations
@@ -17,12 +18,12 @@ from repro.experiments.common import (
     ExperimentBase,
     ExperimentConfig,
     evaluation_benchmark_names,
-    run_scheme_on_benchmark,
-    train_or_load_model,
 )
 from repro.profiling.metrics import harmonic_mean
+from repro.scenarios.library import FIG11_STRIDES, fig11_grid
+from repro.scenarios.runner import evaluate_grid
 
-DEFAULT_STRIDES: Tuple[Tuple[int, int], ...] = ((0, 0), (1, 1), (2, 2), (2, 4), (4, 4))
+DEFAULT_STRIDES: Tuple[Tuple[int, int], ...] = FIG11_STRIDES
 
 
 class Fig11StrideSensitivity(ExperimentBase):
@@ -39,10 +40,15 @@ class Fig11StrideSensitivity(ExperimentBase):
         self,
         config: ExperimentConfig,
         strides: Optional[List[Tuple[int, int]]] = None,
+        benchmarks: Optional[List[str]] = None,
     ) -> ExperimentResult:
-        strides = list(strides or DEFAULT_STRIDES)
-        model = train_or_load_model(config)
-        benchmarks = evaluation_benchmark_names()
+        strides = [tuple(stride) for stride in (strides or DEFAULT_STRIDES)]
+        benchmarks = list(benchmarks or evaluation_benchmark_names())
+        grid = fig11_grid(strides=strides, benchmarks=benchmarks)
+        speedup = {
+            (point.benchmark, point.poise_strides): metrics["speedup"]
+            for point, metrics in evaluate_grid(grid, config).items()
+        }
 
         experiment = ExperimentResult(
             experiment_id="fig11",
@@ -58,12 +64,9 @@ class Fig11StrideSensitivity(ExperimentBase):
         for name in benchmarks:
             row = [name]
             for stride in strides:
-                stride_config = config.with_poise_params(
-                    config.poise_params.with_strides(*stride)
-                )
-                outcome = run_scheme_on_benchmark("poise", name, stride_config, model=model)
-                row.append(outcome.speedup)
-                per_stride[stride].append(max(outcome.speedup, 1e-6))
+                value = speedup[(name, stride)]
+                row.append(value)
+                per_stride[stride].append(max(value, 1e-6))
             table.add_row(*row)
         hmean_row = ["H-Mean"] + [harmonic_mean(per_stride[stride]) for stride in strides]
         table.add_row(*hmean_row)

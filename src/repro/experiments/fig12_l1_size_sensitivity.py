@@ -5,7 +5,10 @@ The paper's robustness study: the regression model is trained once on the
 with a *linear* set-index function and L1 capacities of 16, 32 and 64 KB.
 Poise keeps delivering speedups (48%, then 36.7% at 64 KB), showing both
 that the learned mapping transfers across architectural changes and that
-cache thrashing persists even with much larger caches.
+cache thrashing persists even with much larger caches.  The sweep is
+declared as the ``fig12-l1-size`` :class:`~repro.scenarios.grid.ScenarioGrid`
+(an ``l1_scale`` × ``l1_indexing`` architecture axis), and the point
+evaluator trains the model on the base platform exactly as the paper does.
 """
 
 from __future__ import annotations
@@ -18,12 +21,12 @@ from repro.experiments.common import (
     ExperimentBase,
     ExperimentConfig,
     evaluation_benchmark_names,
-    run_scheme_on_benchmark,
-    train_or_load_model,
 )
 from repro.profiling.metrics import harmonic_mean
+from repro.scenarios.library import FIG12_SCALES, fig12_grid
+from repro.scenarios.runner import evaluate_grid
 
-DEFAULT_SCALES = (1, 2, 4)  # 16 KB, 32 KB, 64 KB
+DEFAULT_SCALES = FIG12_SCALES  # 16 KB, 32 KB, 64 KB
 
 
 class Fig12L1SizeSensitivity(ExperimentBase):
@@ -37,12 +40,18 @@ class Fig12L1SizeSensitivity(ExperimentBase):
     )
 
     def build(
-        self, config: ExperimentConfig, scales: Optional[List[int]] = None
+        self,
+        config: ExperimentConfig,
+        scales: Optional[List[int]] = None,
+        benchmarks: Optional[List[str]] = None,
     ) -> ExperimentResult:
         scales = list(scales or DEFAULT_SCALES)
-        # The model is trained on the baseline (hash-indexed 16 KB) platform.
-        model = train_or_load_model(config)
-        benchmarks = evaluation_benchmark_names()
+        benchmarks = list(benchmarks or evaluation_benchmark_names())
+        grid = fig12_grid(scales=scales, benchmarks=benchmarks)
+        speedup = {
+            (point.benchmark, point.l1_scale): metrics["speedup"]
+            for point, metrics in evaluate_grid(grid, config).items()
+        }
 
         experiment = ExperimentResult(
             experiment_id="fig12",
@@ -59,13 +68,9 @@ class Fig12L1SizeSensitivity(ExperimentBase):
         for name in benchmarks:
             row = [name]
             for scale in scales:
-                gpu = config.gpu.with_l1(
-                    size_bytes=config.gpu.l1.size_bytes * scale, indexing="linear"
-                )
-                scaled_config = config.with_gpu(gpu)
-                outcome = run_scheme_on_benchmark("poise", name, scaled_config, model=model)
-                row.append(outcome.speedup)
-                per_scale[scale].append(max(outcome.speedup, 1e-6))
+                value = speedup[(name, scale)]
+                row.append(value)
+                per_scale[scale].append(max(value, 1e-6))
             table.add_row(*row)
         hmean_row = ["H-Mean"] + [harmonic_mean(per_scale[scale]) for scale in scales]
         table.add_row(*hmean_row)

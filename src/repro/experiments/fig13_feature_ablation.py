@@ -7,7 +7,9 @@ features) between 1.5% (removing x7) and 21.7% (removing x6), with highly
 memory-sensitive benchmarks hurt the most; the expected shape here is that
 every ablated model is at best as good as the full model on the harmonic
 mean.  x1/x2 are omitted from the sweep, as in the paper, because their
-information is largely carried by x7.
+information is largely carried by x7.  The sweep is the ``fig13-ablation``
+:class:`~repro.scenarios.grid.ScenarioGrid`: a ``feature_mask`` axis whose
+``None`` value is the all-features reference column.
 """
 
 from __future__ import annotations
@@ -20,13 +22,13 @@ from repro.experiments.common import (
     ExperimentBase,
     ExperimentConfig,
     evaluation_benchmark_names,
-    run_scheme_on_benchmark,
-    train_or_load_model,
 )
 from repro.profiling.metrics import harmonic_mean
+from repro.scenarios.library import FIG13_ABLATIONS, fig13_grid
+from repro.scenarios.runner import evaluate_grid
 
 #: Feature indices (0-based into Table II's x1..x8) removed one at a time.
-DEFAULT_ABLATIONS = (6, 5, 4, 3, 2)  # x7, x6, x5, x4, x3
+DEFAULT_ABLATIONS = FIG13_ABLATIONS  # x7, x6, x5, x4, x3
 
 
 class Fig13FeatureAblation(ExperimentBase):
@@ -40,10 +42,18 @@ class Fig13FeatureAblation(ExperimentBase):
     )
 
     def build(
-        self, config: ExperimentConfig, ablations: Optional[List[int]] = None
+        self,
+        config: ExperimentConfig,
+        ablations: Optional[List[int]] = None,
+        benchmarks: Optional[List[str]] = None,
     ) -> ExperimentResult:
-        ablations = list(ablations or DEFAULT_ABLATIONS)
-        benchmarks = evaluation_benchmark_names()
+        ablations = list(ablations if ablations is not None else DEFAULT_ABLATIONS)
+        benchmarks = list(benchmarks or evaluation_benchmark_names())
+        grid = fig13_grid(ablations=ablations, benchmarks=benchmarks)
+        speedup = {
+            (point.benchmark, point.feature_mask): metrics["speedup"]
+            for point, metrics in evaluate_grid(grid, config).items()
+        }
 
         experiment = ExperimentResult(
             experiment_id="fig13",
@@ -56,31 +66,15 @@ class Fig13FeatureAblation(ExperimentBase):
 
         # Reference: all features, no local search (so the comparison isolates
         # prediction accuracy exactly as the paper does).
-        full_model = train_or_load_model(config)
-        reference: dict = {}
-        for name in benchmarks:
-            reference[name] = run_scheme_on_benchmark(
-                "poise_nosearch", name, config, model=full_model
-            ).speedup
-
-        ablated_speedups: dict = {index: {} for index in ablations}
-        for index in ablations:
-            ablated_model = train_or_load_model(config, feature_mask=[index])
-            for name in benchmarks:
-                ablated_speedups[index][name] = run_scheme_on_benchmark(
-                    "poise_nosearch", name, config, model=ablated_model
-                ).speedup
-
         per_column: dict = {"all": []}
         for index in ablations:
             per_column[index] = []
         for name in benchmarks:
+            reference = speedup[(name, None)]
             row = [name, 1.0]
             per_column["all"].append(1.0)
             for index in ablations:
-                normalised = (
-                    ablated_speedups[index][name] / reference[name] if reference[name] else 0.0
-                )
+                normalised = speedup[(name, (index,))] / reference if reference else 0.0
                 row.append(normalised)
                 per_column[index].append(max(normalised, 1e-6))
             table.add_row(*row)

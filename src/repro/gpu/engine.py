@@ -23,7 +23,8 @@ result computed by one engine is a valid cache hit for the other.
 from __future__ import annotations
 
 import os
-from typing import Optional
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 #: Environment variable naming the engine to simulate with.
 ENGINE_ENV = "REPRO_ENGINE"
@@ -49,3 +50,25 @@ def resolve_engine(engine: Optional[str] = None) -> str:
             f"unknown simulator engine {value!r} (expected one of {', '.join(ENGINES)})"
         )
     return value
+
+
+@contextmanager
+def pinned_engine(engine: Optional[str]) -> Iterator[None]:
+    """Temporarily pin ``REPRO_ENGINE`` (``None`` leaves it untouched).
+
+    Used wherever a specific core must execute regardless of the ambient
+    environment — engine-pinned scenario points, engine-parity tests.
+    """
+    if engine is None:
+        yield
+        return
+    resolve_engine(engine)  # fail fast on unknown names
+    previous = os.environ.get(ENGINE_ENV)
+    os.environ[ENGINE_ENV] = engine
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENGINE_ENV, None)
+        else:
+            os.environ[ENGINE_ENV] = previous

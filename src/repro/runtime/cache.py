@@ -34,6 +34,28 @@ def content_key(payload: dict) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def atomic_write_json(
+    path: Path,
+    payload: dict,
+    indent: Optional[int] = None,
+    trailing_newline: bool = False,
+) -> Path:
+    """Write sorted-keys JSON via a temp file + ``os.replace``.
+
+    The single atomic-write implementation behind the result cache,
+    experiment artifacts and sweep-point artifacts: a concurrent or
+    interrupted writer can never leave a half-written document behind.
+    Errors propagate — callers that treat persistence as best-effort wrap
+    the call themselves.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    text = json.dumps(payload, indent=indent, sort_keys=True)
+    tmp.write_text(text + "\n" if trailing_newline else text)
+    os.replace(tmp, path)
+    return path
+
+
 class DiskCache:
     """A directory of content-addressed JSON documents."""
 
@@ -66,14 +88,9 @@ class DiskCache:
 
     def store(self, payload: dict, result: dict) -> Optional[Path]:
         """Atomically write ``result`` for ``payload``; best-effort on errors."""
-        path = self.path_for(payload)
         document = {"format_version": _FORMAT_VERSION, "result": result}
         try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-            tmp.write_text(json.dumps(document, sort_keys=True))
-            os.replace(tmp, path)
-            return path
+            return atomic_write_json(self.path_for(payload), document)
         except (OSError, TypeError, ValueError):
             return None  # caching is best-effort, never fatal
 

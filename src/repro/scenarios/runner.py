@@ -1,0 +1,281 @@
+"""Execution of scenario grids with per-point artifacts, sharding and resume.
+
+Every :class:`~repro.scenarios.grid.ScenarioPoint` produces exactly one JSON
+artifact under::
+
+    <cache_dir>/artifacts/sweeps/<grid>/<label>/points/<point_id>.json
+
+The payload is *content-stable*: no timestamps, no wall-clock, no
+host-dependent field — only the point's axis assignment and the
+deterministic simulation metrics.  That is the property the whole sharding
+story rests on: K containers running ``--shard k/K`` each write a disjoint
+subset of the point files, and the union of their artifact directories is
+byte-identical to what one unsharded run writes.
+
+``resume=True`` skips points whose artifact already exists and validates
+(same format version, same axis assignment, metrics present).  A *corrupt*
+artifact — unreadable JSON, a different point under the same name, a
+missing metrics object — raises :class:`CorruptPointArtifact` instead of
+being silently recomputed: on a sharded sweep a bad file usually means a
+torn copy or a mixed-up artifact directory, which the operator should see.
+Deleting the offending file makes ``resume`` recompute exactly that point.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.gpu.engine import pinned_engine
+from repro.runtime.cache import atomic_write_json
+from repro.scenarios.grid import ScenarioError, ScenarioGrid, ScenarioPoint
+
+POINT_FORMAT_VERSION = 1
+
+#: Metric names every point artifact carries (the deterministic aggregate of
+#: one scheme over one benchmark, mirroring ``BenchmarkOutcome``).
+POINT_METRICS = (
+    "speedup",
+    "ipc",
+    "l1_hit_rate",
+    "aml",
+    "aml_ratio",
+    "energy_ratio",
+)
+
+
+class CorruptPointArtifact(ScenarioError):
+    """A per-point artifact exists but cannot be trusted."""
+
+
+def sweep_root(cache_dir: Union[str, Path], grid_name: str, label: str) -> Path:
+    return Path(cache_dir) / "artifacts" / "sweeps" / grid_name / label
+
+
+def points_dir(cache_dir: Union[str, Path], grid_name: str, label: str) -> Path:
+    return sweep_root(cache_dir, grid_name, label) / "points"
+
+
+def _write_json(path: Path, payload: Dict[str, Any]) -> Path:
+    """Atomic, canonical (sorted-keys, trailing-newline) JSON write."""
+    return atomic_write_json(path, payload, indent=2, trailing_newline=True)
+
+
+def evaluate_point(point: ScenarioPoint, base_config) -> Dict[str, Any]:
+    """Run one scenario point and return its deterministic metrics.
+
+    The model (for Poise schemes) is always resolved on the *base*
+    configuration — architecture and stride axes are deployment-time
+    changes, the regression is trained on the baseline platform, exactly as
+    in the paper's sensitivity studies (Figs. 11–13).
+
+    Points that pin an ``engine`` run with the result *and* static-profile
+    caches disabled — reads and writes: the caches are engine-agnostic by
+    design, so honouring a hit (or seeding an entry for the sibling point)
+    would silently skip the very engine the point exists to exercise.  The
+    trained model is the one deliberate exception: it is resolved once on
+    the base platform and shared, so engine-pinned points differ in nothing
+    but the core that executes them.
+    """
+    from repro.experiments.common import run_scheme_on_benchmark, train_or_load_model
+
+    config = point.experiment_config(base_config)
+    model = None
+    if point.scheme.startswith("poise"):
+        mask = list(point.feature_mask) if point.feature_mask is not None else None
+        model = train_or_load_model(base_config, feature_mask=mask)
+    use_cache = point.engine is None
+    with pinned_engine(point.engine):
+        outcome = run_scheme_on_benchmark(
+            point.scheme, point.benchmark, config, model=model, use_cache=use_cache
+        )
+    return outcome_metrics(outcome)
+
+
+def outcome_metrics(outcome) -> Dict[str, Any]:
+    """The content-stable metrics payload of one ``BenchmarkOutcome``."""
+    metrics: Dict[str, Any] = {name: getattr(outcome, name) for name in POINT_METRICS}
+    metrics["kernels"] = {
+        name: {
+            "cycles": result.cycles,
+            "instructions": result.counters.instructions,
+            "l1_hit_rate": result.l1_hit_rate,
+            "warp_tuple": list(result.warp_tuple),
+            "completed": result.completed,
+        }
+        for name, result in sorted(outcome.kernel_results.items())
+    }
+    return metrics
+
+
+def evaluate_grid(
+    grid: ScenarioGrid, base_config
+) -> Dict[ScenarioPoint, Dict[str, Any]]:
+    """Evaluate every point of a grid in expansion order.
+
+    This is the in-process path the refactored sensitivity figures use: no
+    artifacts, just ``{point: metrics}`` backed by the ordinary run caches.
+    """
+    return {point: evaluate_point(point, base_config) for point in grid.points()}
+
+
+def _point_job(point: ScenarioPoint, base_config) -> Dict[str, Any]:
+    """Module-level sweep worker: one scenario point per process."""
+    return evaluate_point(point, base_config)
+
+
+@dataclass(frozen=True)
+class PointStatus:
+    """What happened to one point during a :meth:`SweepRunner.run`."""
+
+    point: ScenarioPoint
+    path: Path
+    status: str  # "computed" or "skipped"
+
+
+class SweepRunner:
+    """Executes a grid (or one shard of it) into per-point artifacts."""
+
+    def __init__(
+        self,
+        grid: ScenarioGrid,
+        base_config,
+        cache_dir: Optional[Union[str, Path]] = None,
+        evaluate: Optional[Callable[[ScenarioPoint], Dict[str, Any]]] = None,
+    ) -> None:
+        self.grid = grid
+        self.config = base_config
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else Path(base_config.cache_dir)
+        self._evaluate = evaluate
+
+    # -- layout -----------------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+    @property
+    def root(self) -> Path:
+        return sweep_root(self.cache_dir, self.grid.name, self.label)
+
+    def point_path(self, point: ScenarioPoint) -> Path:
+        return points_dir(self.cache_dir, self.grid.name, self.label) / f"{point.point_id}.json"
+
+    def point_payload(self, point: ScenarioPoint, metrics: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "format_version": POINT_FORMAT_VERSION,
+            "kind": "sweep-point",
+            "grid": self.grid.name,
+            "label": self.label,
+            "point_id": point.point_id,
+            "point": point.payload(),
+            "metrics": metrics,
+        }
+
+    # -- resume validation --------------------------------------------------------
+
+    def load_point(self, point: ScenarioPoint) -> Optional[Dict[str, Any]]:
+        """The validated artifact for ``point``, or ``None`` when absent.
+
+        Raises :class:`CorruptPointArtifact` when a file exists but is not a
+        well-formed artifact of exactly this point.
+        """
+        path = self.point_path(point)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as error:
+            raise CorruptPointArtifact(
+                f"point artifact {path} is unreadable ({error}) — "
+                f"delete it to recompute the point"
+            ) from None
+        try:
+            document = json.loads(text)
+        except ValueError:
+            raise CorruptPointArtifact(
+                f"point artifact {path} is not valid JSON (truncated or corrupt) — "
+                f"delete it to recompute the point"
+            ) from None
+        if not isinstance(document, dict) or document.get("format_version") != POINT_FORMAT_VERSION:
+            raise CorruptPointArtifact(
+                f"point artifact {path} has an unsupported format "
+                f"(expected format_version {POINT_FORMAT_VERSION}) — "
+                f"delete it to recompute the point"
+            )
+        if document.get("point") != point.payload() or document.get("grid") != self.grid.name:
+            raise CorruptPointArtifact(
+                f"point artifact {path} describes a different scenario than "
+                f"{point.point_id!r} — the artifact directory is inconsistent; "
+                f"delete the file to recompute the point"
+            )
+        metrics = document.get("metrics")
+        if not isinstance(metrics, dict):
+            raise CorruptPointArtifact(
+                f"point artifact {path} has no metrics object — "
+                f"delete it to recompute the point"
+            )
+        incomplete = [name for name in POINT_METRICS if name not in metrics]
+        if incomplete:
+            raise CorruptPointArtifact(
+                f"point artifact {path} is missing metrics "
+                f"({', '.join(incomplete)}) — delete it to recompute the point"
+            )
+        return document
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(
+        self,
+        shard: Optional[Tuple[int, int]] = None,
+        resume: bool = False,
+        jobs: Optional[int] = None,
+        progress: Optional[Callable[[PointStatus], None]] = None,
+    ) -> List[PointStatus]:
+        """Execute the grid (or one shard), writing one artifact per point."""
+        points = self.grid.shard(*shard) if shard is not None else self.grid.points()
+        statuses: Dict[ScenarioPoint, PointStatus] = {}
+        todo: List[ScenarioPoint] = []
+        for point in points:
+            if resume and self.load_point(point) is not None:
+                statuses[point] = PointStatus(point, self.point_path(point), "skipped")
+                if progress is not None:
+                    progress(statuses[point])
+            else:
+                todo.append(point)
+        for point, metrics in zip(todo, self._compute(todo, jobs)):
+            path = _write_json(self.point_path(point), self.point_payload(point, metrics))
+            statuses[point] = PointStatus(point, path, "computed")
+            if progress is not None:
+                progress(statuses[point])
+        return [statuses[point] for point in points]
+
+    def _compute(self, todo: Sequence[ScenarioPoint], jobs: Optional[int]):
+        if self._evaluate is not None:
+            for point in todo:
+                yield self._evaluate(point)
+            return
+        from repro.runtime.executor import SweepExecutor
+
+        executor = SweepExecutor(jobs=jobs)
+        if executor.parallel and len(todo) > 1:
+            self._prefetch_models(todo)
+            yield from executor.map(_point_job, [(point, self.config) for point in todo])
+            return
+        for point in todo:
+            yield evaluate_point(point, self.config)
+
+    def _prefetch_models(self, todo: Sequence[ScenarioPoint]) -> None:
+        """Resolve every model the shard needs once, in this process, so the
+        disk cache hands it to the workers instead of each retraining."""
+        from repro.experiments.common import train_or_load_model
+
+        masks = {
+            point.feature_mask for point in todo if point.scheme.startswith("poise")
+        }
+        for mask in sorted(masks, key=lambda value: (value is not None, value)):
+            train_or_load_model(
+                self.config, feature_mask=list(mask) if mask is not None else None
+            )

@@ -1,0 +1,160 @@
+"""CLI failure paths must exit non-zero with a clear message — no traceback.
+
+Pinned here for ``repro sweep``: unknown grids, unknown axis values,
+malformed shard specs, and corrupt per-point artifacts under ``--resume``.
+Every case asserts on the exit code, on the message fragment a user needs
+to act, and on the absence of a Python traceback.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli.main import main as repro_main
+
+
+@pytest.fixture()
+def sweep_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+def run_cli(capsys, *argv):
+    code = repro_main(list(argv))
+    captured = capsys.readouterr()
+    assert "Traceback" not in captured.err
+    assert "Traceback" not in captured.out
+    return code, captured
+
+
+def test_unknown_grid_name(sweep_cache, capsys):
+    code, captured = run_cli(capsys, "sweep", "run", "bogus-grid", "--fast")
+    assert code == 2
+    assert "unknown sweep grid 'bogus-grid'" in captured.err
+    assert "smoke" in captured.err  # suggests the known grids
+
+
+def test_unknown_axis_value(sweep_cache, capsys):
+    code, captured = run_cli(
+        capsys, "sweep", "run", "smoke", "--fast", "--set", "scheme=gto,bogus"
+    )
+    assert code == 2
+    assert "axis 'scheme'" in captured.err and "'bogus'" in captured.err
+
+
+def test_unknown_axis_name(sweep_cache, capsys):
+    code, captured = run_cli(
+        capsys, "sweep", "run", "smoke", "--fast", "--set", "turbo=1"
+    )
+    assert code == 2
+    assert "unknown axis 'turbo'" in captured.err
+
+
+def test_unknown_benchmark_value(sweep_cache, capsys):
+    code, captured = run_cli(
+        capsys, "sweep", "plan", "smoke", "--fast", "--set", "benchmark=not-a-benchmark"
+    )
+    assert code == 2
+    assert "axis 'benchmark'" in captured.err
+
+
+def test_malformed_set_flag(sweep_cache, capsys):
+    code, captured = run_cli(capsys, "sweep", "run", "smoke", "--fast", "--set", "scheme")
+    assert code == 2
+    assert "malformed --set" in captured.err
+
+
+@pytest.mark.parametrize("spec", ["0/4", "5/4", "x/4", "1/2/3", "1/0"])
+def test_malformed_shard_spec(sweep_cache, capsys, spec):
+    code, captured = run_cli(
+        capsys, "sweep", "run", "smoke", "--fast", "--shard", spec
+    )
+    assert code == 2
+    assert "shard" in captured.err
+    assert spec.split("/")[0] in captured.err or "malformed" in captured.err
+
+
+def _first_point_artifact(cache: Path) -> Path:
+    points = sorted((cache / "artifacts" / "sweeps" / "smoke" / "fast" / "points").glob("*.json"))
+    assert points, "expected the sweep run to have written point artifacts"
+    return points[0]
+
+
+def test_corrupt_point_artifact_on_resume(sweep_cache, capsys):
+    # A real (tiny) run first, so there is an artifact to corrupt.
+    code, _ = run_cli(capsys, "sweep", "run", "smoke", "--fast", "--shard", "1/2")
+    assert code == 0
+    victim = _first_point_artifact(sweep_cache)
+    victim.write_text("{truncated")
+    code, captured = run_cli(
+        capsys, "sweep", "run", "smoke", "--fast", "--shard", "1/2", "--resume"
+    )
+    assert code == 1
+    assert "not valid JSON" in captured.err
+    assert str(victim) in captured.err
+    assert "delete it to recompute" in captured.err
+
+    # A parseable artifact describing a different scenario is just as fatal.
+    payload = {"format_version": 1, "kind": "sweep-point", "grid": "smoke",
+               "point": {"scheme": "other"}, "metrics": {}}
+    victim.write_text(json.dumps(payload))
+    code, captured = run_cli(
+        capsys, "sweep", "run", "smoke", "--fast", "--shard", "1/2", "--resume"
+    )
+    assert code == 1
+    assert "different scenario" in captured.err
+
+
+def test_report_with_missing_points(sweep_cache, capsys):
+    code, _ = run_cli(capsys, "sweep", "run", "smoke", "--fast", "--shard", "1/2")
+    assert code == 0
+    code, captured = run_cli(capsys, "sweep", "report", "smoke", "--fast")
+    assert code == 2
+    assert "missing 2 of 4 point artifacts" in captured.err
+    # The remediation hint is runnable as-is: same grid, same label.
+    assert "repro sweep run smoke --fast" in captured.err
+
+
+def test_set_overrides_get_their_own_artifact_tree(sweep_cache, capsys):
+    """An overridden grid must never mix points into (or clobber the
+    sweep.json of) the canonical named grid's artifact tree."""
+    code, captured = run_cli(
+        capsys, "sweep", "run", "smoke", "--fast", "--set", "benchmark=mvt"
+    )
+    assert code == 0
+    sweeps = sweep_cache / "artifacts" / "sweeps"
+    derived = [path.name for path in sweeps.iterdir() if path.name.startswith("smoke@")]
+    assert len(derived) == 1 and "smoke@" in captured.out
+    assert not (sweeps / "smoke").exists()
+    # The derived name is deterministic: the same overrides reuse the tree.
+    code, _ = run_cli(
+        capsys, "sweep", "run", "smoke", "--fast", "--set", "benchmark=mvt", "--resume"
+    )
+    assert code == 0
+    assert [path.name for path in sweeps.iterdir()] == derived
+    code, captured = run_cli(
+        capsys, "sweep", "report", "smoke", "--fast", "--set", "benchmark=mvt"
+    )
+    assert code == 0
+    assert (sweeps / derived[0] / "fast" / "sweep.json").exists()
+
+
+def test_successful_shard_then_report_round_trip(sweep_cache, capsys):
+    """The happy path the failure cases bracket: 2 shards + report succeed."""
+    assert run_cli(capsys, "sweep", "run", "smoke", "--fast", "--shard", "1/2")[0] == 0
+    assert run_cli(capsys, "sweep", "run", "smoke", "--fast", "--shard", "2/2")[0] == 0
+    code, captured = run_cli(capsys, "sweep", "report", "smoke", "--fast")
+    assert code == 0
+    assert "4 points aggregated" in captured.out
+    sweep_json = sweep_cache / "artifacts" / "sweeps" / "smoke" / "fast" / "sweep.json"
+    assert sweep_json.exists()
+
+
+def test_unknown_experiment_id_still_clean(sweep_cache, capsys):
+    """The pre-existing contract the sweep CLI matches: unknown ids exit 2."""
+    code, captured = run_cli(capsys, "run", "fig99", "--fast")
+    assert code == 2
+    assert "unknown experiment" in captured.err

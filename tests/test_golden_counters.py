@@ -9,6 +9,13 @@ must replay exactly — any drift (a changed int anywhere) fails the suite.
 The Poise run uses a hand-written model with fixed weights, so the golden
 run depends on no training pipeline and is deterministic by construction.
 
+Beyond the default-configuration section, the fixture carries an
+``extended`` section pinning engine parity away from the baseline: a
+trace-family kernel (structured address stream the synthetic generator
+cannot express) and a non-default architecture point (4 KB L1, 48-warp
+scheduler, 32-warp kernel), each replayed under **both** simulator engines
+against the same golden counters.
+
 To regenerate the fixture after an *intentional* behaviour change::
 
     REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_counters.py -q
@@ -25,12 +32,19 @@ import pytest
 
 from repro.core.training import TrainedModel
 from repro.experiments.common import ExperimentConfig, run_scheme_on_kernel
+from repro.gpu.config import CacheConfig, SMConfig
+from repro.gpu.engine import ENGINES, pinned_engine
 from repro.runtime import serialization
+from repro.workloads.registry import get_benchmark
 from repro.workloads.spec import KernelSpec
 
 FIXTURE_PATH = Path(__file__).resolve().parent / "data" / "golden_counters.json"
 
 GOLDEN_SCHEMES = ("gto", "swl", "pcal", "poise", "static_best")
+
+#: Schemes used by the extended (engine-parity) cases — deliberately the
+#: profile-free ones so the cases stay cheap under both engines.
+EXTENDED_SCHEMES = ("gto", "ccws", "apcm")
 
 #: Small enough that all five runs take a few seconds, memory-sensitive
 #: enough that the schemes actually diverge (different warp-tuples, different
@@ -71,28 +85,56 @@ def golden_model() -> TrainedModel:
     )
 
 
-def run_golden(cache_dir: Path) -> dict:
-    config = golden_config(cache_dir)
-    model = golden_model()
-    schemes = {}
-    for scheme in GOLDEN_SCHEMES:
+def extended_cases(cache_dir: Path) -> dict:
+    """The engine-parity cases: (kernel, config) pairs beyond the baseline."""
+    base = golden_config(cache_dir)
+    trace_kernel = get_benchmark("stencil").kernels[0]
+    wide_kernel = replace(
+        GOLDEN_KERNEL, name="golden_kernel_wide", num_warps=32, private_lines=24
+    )
+    small_l1_wide_gpu = replace(
+        base.gpu,
+        sm=SMConfig(max_warps=48),
+        l1=CacheConfig(size_bytes=4 * 1024, assoc=4, line_size=128, mshr_entries=32),
+    )
+    return {
+        "trace_stencil": (trace_kernel, base),
+        "small_l1_wide": (wide_kernel, base.with_gpu(small_l1_wide_gpu)),
+    }
+
+
+def _replay_schemes(kernel: KernelSpec, config: ExperimentConfig, schemes) -> dict:
+    result_by_scheme = {}
+    for scheme in schemes:
         result = run_scheme_on_kernel(
             scheme,
-            GOLDEN_KERNEL,
+            kernel,
             config,
-            model=model if scheme.startswith("poise") else None,
+            model=golden_model() if scheme.startswith("poise") else None,
             use_cache=False,
         )
-        schemes[scheme] = {
+        result_by_scheme[scheme] = {
             "counters": serialization.counters_to_dict(result.counters),
             "cycles": result.cycles,
             "warp_tuple": list(result.warp_tuple),
             "completed": result.completed,
         }
+    return result_by_scheme
+
+
+def run_golden(cache_dir: Path) -> dict:
+    config = golden_config(cache_dir)
     return {
         "kernel": GOLDEN_KERNEL.name,
         "run_max_cycles": config.run_max_cycles,
-        "schemes": schemes,
+        "schemes": _replay_schemes(GOLDEN_KERNEL, config, GOLDEN_SCHEMES),
+        "extended": {
+            case: {
+                "kernel": kernel.name,
+                "schemes": _replay_schemes(kernel, case_config, EXTENDED_SCHEMES),
+            }
+            for case, (kernel, case_config) in extended_cases(cache_dir).items()
+        },
     }
 
 
@@ -131,5 +173,44 @@ def test_schemes_actually_diverge(golden_replay):
     fingerprints = {
         json.dumps(entry["counters"], sort_keys=True)
         for entry in golden_replay["schemes"].values()
+    }
+    assert len(fingerprints) > 1
+
+
+# ---------------------------------------------------------------------------
+# Extended cases: trace-family kernel + non-default architecture, both engines
+# ---------------------------------------------------------------------------
+
+EXTENDED_CASES = ("trace_stencil", "small_l1_wide")
+
+
+@pytest.mark.parametrize("case", EXTENDED_CASES)
+def test_extended_counters_replay(golden_replay, case):
+    fixture = json.loads(FIXTURE_PATH.read_text())
+    expected = fixture["extended"][case]
+    actual = golden_replay["extended"][case]
+    assert actual["kernel"] == expected["kernel"]
+    for scheme, entry in expected["schemes"].items():
+        assert actual["schemes"][scheme] == entry, f"{case}/{scheme} drifted"
+    assert set(actual["schemes"]) == set(expected["schemes"])
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("case", EXTENDED_CASES)
+def test_extended_engine_parity(case, engine, tmp_path):
+    """Both engines replay the extended cases to the same golden counters —
+    parity is pinned beyond the default architecture and workload family."""
+    fixture = json.loads(FIXTURE_PATH.read_text())
+    kernel, config = extended_cases(tmp_path)[case]
+    with pinned_engine(engine):
+        replayed = _replay_schemes(kernel, config, EXTENDED_SCHEMES)
+    assert replayed == fixture["extended"][case]["schemes"], f"{case} under {engine}"
+
+
+@pytest.mark.parametrize("case", EXTENDED_CASES)
+def test_extended_schemes_diverge(golden_replay, case):
+    fingerprints = {
+        json.dumps(entry["counters"], sort_keys=True)
+        for entry in golden_replay["extended"][case]["schemes"].values()
     }
     assert len(fingerprints) > 1
