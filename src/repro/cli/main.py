@@ -67,6 +67,17 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         "per CPU core (default: serial, or the REPRO_JOBS environment variable)",
     )
     parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECS",
+        help="per-experiment wall-clock timeout when running in parallel; a "
+        "stalled worker is abandoned and the experiment retried (default: "
+        "REPRO_TIMEOUT, or no timeout)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry budget per experiment for transient failures — worker "
+        "death, timeouts, OSError (default: REPRO_RETRIES, or 2)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="override the artefact/result cache root (default: REPRO_CACHE_DIR "
         "or ~/.cache/poise-repro); artifacts land under DIR/artifacts/<label>/",
@@ -205,13 +216,15 @@ def _cmd_run(ids: Sequence[str], args: argparse.Namespace) -> int:
             print(ExperimentResult.from_dict(payload).to_text())
             print()
 
-    executor = SweepExecutor(jobs=args.jobs)
+    executor = SweepExecutor(jobs=args.jobs, timeout=args.timeout, retries=args.retries)
     job_args = [(experiment_id, label, cache_dir) for experiment_id in ordered]
     if executor.parallel and len(job_args) > 1:
         for experiment_id, payload in zip(
             ordered, executor.map(runner.run_experiment_job, job_args)
         ):
             _finish(experiment_id, payload)
+        if executor.last_report is not None and not executor.last_report.clean:
+            print(f"\n{executor.last_report.summary()}")
     else:
         for experiment_id, job in zip(ordered, job_args):
             _finish(experiment_id, runner.run_experiment_job(*job))

@@ -12,7 +12,9 @@ of the grid: N containers pointed at N shards write disjoint per-point
 artifacts whose union is byte-identical to one full run.  ``--resume``
 skips points whose artifact already validates, so an interrupted (or
 partially-sharded) sweep continues where it stopped; a corrupt artifact is
-an error naming the file rather than a silent recompute.  ``--set
+quarantined (moved aside, named in the run summary) and recomputed rather
+than silently trusted — only ``report``-time aggregation treats corruption
+as a hard error.  ``--set
 AXIS=V1,V2`` overrides an axis of a named grid (tuple-valued axes use
 colons, e.g. ``--set poise_strides=0:0,2:4``).
 """
@@ -70,9 +72,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shard", default=None, metavar="K/N",
                      help="run the K-th of N disjoint slices of the grid")
     run.add_argument("--resume", action="store_true",
-                     help="skip points whose artifact already validates")
+                     help="skip points whose artifact already validates; corrupt "
+                     "artifacts are quarantined and recomputed")
     run.add_argument("--jobs", type=int, default=None, metavar="N",
                      help="fan points out over N worker processes")
+    run.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                     help="per-job wall-clock timeout in seconds; a stalled worker "
+                     "is abandoned and its point retried (default: REPRO_TIMEOUT, "
+                     "or no timeout)")
+    run.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="retry budget per point for transient failures — worker "
+                     "death, timeouts, OSError (default: REPRO_RETRIES, or 2)")
 
     report = sub.add_parser("report", help="aggregate point artifacts into the sweep artifact")
     _add_common(report)
@@ -217,14 +227,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     def progress(status: PointStatus) -> None:
         print(f"{status.status:<9} {status.point.point_id:<40} {status.path}", flush=True)
 
-    statuses = runner.run(shard=shard, resume=args.resume, jobs=args.jobs, progress=progress)
-    computed = sum(1 for status in statuses if status.status == "computed")
-    skipped = len(statuses) - computed
+    report = runner.run_report(
+        shard=shard,
+        resume=args.resume,
+        jobs=args.jobs,
+        progress=progress,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
     scope = f"shard {args.shard}" if shard else "full grid"
     print(
         f"\nsweep {grid.name} ({config.label}, {scope}): "
-        f"{computed} computed, {skipped} skipped, artifacts under {runner.root}"
+        f"{report.computed} computed, {report.skipped} skipped, "
+        f"artifacts under {runner.root}"
     )
+    for line in report.summary_lines():
+        print(line)
     return 0
 
 

@@ -1,18 +1,45 @@
-"""Runtime infrastructure: parallel sweep execution and persistent caching.
+"""Runtime infrastructure: fault-tolerant fan-out and persistent caching.
 
-This package keeps the *how it runs* concerns — process fan-out and the
-content-addressed on-disk result cache — out of the simulator and the
-experiment logic.  :mod:`repro.runtime.serialization` is imported on demand
-by callers (not here) because it depends on the profiling layer.
+This package keeps the *how it runs* concerns — process fan-out with
+per-job timeouts/retries/salvage, the content-addressed on-disk result
+cache, and the deterministic fault-injection harness that proves the
+recovery machinery — out of the simulator and the experiment logic.
+:mod:`repro.runtime.serialization` is imported on demand by callers (not
+here) because it depends on the profiling layer.
 """
 
-from repro.runtime.cache import DiskCache, content_key
-from repro.runtime.executor import JOBS_ENV, SweepExecutor, resolve_jobs
+from repro.runtime.cache import DiskCache, content_key, sweep_stale_tmps
+from repro.runtime.executor import (
+    JOBS_ENV,
+    RETRIES_ENV,
+    TIMEOUT_ENV,
+    JobReport,
+    SweepExecutor,
+    resolve_jobs,
+    resolve_retries,
+    resolve_timeout,
+)
+from repro.runtime.faults import (
+    FAULTS_ENV,
+    FaultInjectedError,
+    FaultSpec,
+    FaultSpecError,
+)
 
 __all__ = [
     "DiskCache",
     "content_key",
+    "sweep_stale_tmps",
     "JOBS_ENV",
+    "TIMEOUT_ENV",
+    "RETRIES_ENV",
+    "FAULTS_ENV",
+    "JobReport",
     "SweepExecutor",
     "resolve_jobs",
+    "resolve_retries",
+    "resolve_timeout",
+    "FaultInjectedError",
+    "FaultSpec",
+    "FaultSpecError",
 ]

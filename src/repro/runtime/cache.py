@@ -15,17 +15,65 @@ Entries are written atomically (temp file + ``os.replace``) so a concurrent
 or interrupted writer can never leave a half-written entry behind, and a
 corrupted or truncated entry is treated as a miss (and deleted) rather than
 an error — the caller simply recomputes.
+
+A writer that dies *between* creating its temp file and renaming it leaves
+a ``.<name>.<pid>.<seq>.tmp`` orphan behind; those are swept by
+:func:`sweep_stale_tmps` (stale = older than an hour, so live concurrent
+writers are never raced) on the first :class:`DiskCache` construction per
+directory and at the start of every sweep run.  Both cache operations are
+fault-injection sites (``cache.store`` / ``cache.load`` in
+:mod:`repro.runtime.faults`): an injected transient ``OSError`` must
+degrade to recomputation, never to a wrong result.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import time
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Set, Union
+
+from repro.runtime.faults import maybe_raise
 
 _FORMAT_VERSION = 1
+
+#: Temp files untouched for this long are considered orphaned by a dead
+#: writer (a live atomic write lasts milliseconds).
+STALE_TMP_SECONDS = 3600.0
+
+#: Per-process sequence number making temp names unique even when several
+#: threads of one process race a store on the same key.
+_TMP_SEQUENCE = itertools.count()
+
+#: Directories already swept for stale temp files in this process.
+_SWEPT_ROOTS: Set[Path] = set()
+
+
+def sweep_stale_tmps(
+    directory: Union[str, Path], max_age_seconds: float = STALE_TMP_SECONDS
+) -> int:
+    """Remove orphaned atomic-write temp files; returns the number removed.
+
+    Only files matching the ``.<name>.<pid>[.<seq>].tmp`` pattern *and*
+    older than ``max_age_seconds`` are touched, so a concurrent writer's
+    in-flight temp file is never deleted from under it.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    now = time.time()
+    for tmp in directory.glob(".*.tmp"):
+        try:
+            if now - tmp.stat().st_mtime >= max_age_seconds:
+                tmp.unlink()
+                removed += 1
+        except OSError:
+            continue  # already gone, or unreadable — not ours to force
+    return removed
 
 
 def content_key(payload: dict) -> str:
@@ -49,10 +97,19 @@ def atomic_write_json(
     the call themselves.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
     text = json.dumps(payload, indent=indent, sort_keys=True)
-    tmp.write_text(text + "\n" if trailing_newline else text)
-    os.replace(tmp, path)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.{next(_TMP_SEQUENCE)}.tmp")
+    try:
+        tmp.write_text(text + "\n" if trailing_newline else text)
+        os.replace(tmp, path)
+    except BaseException:
+        # Never leave a temp file behind on a failed write (a writer killed
+        # mid-write still can; sweep_stale_tmps reclaims those later).
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
     return path
 
 
@@ -61,6 +118,11 @@ class DiskCache:
 
     def __init__(self, cache_dir: Union[str, Path], subdir: str = "runs") -> None:
         self.root = Path(cache_dir) / subdir
+        # Reclaim temp files orphaned by writers that died mid-write; once
+        # per directory per process so hot cache paths stay glob-free.
+        if self.root not in _SWEPT_ROOTS:
+            _SWEPT_ROOTS.add(self.root)
+            sweep_stale_tmps(self.root)
 
     def path_for(self, payload: dict) -> Path:
         return self.root / f"{content_key(payload)}.json"
@@ -73,6 +135,7 @@ class DiskCache:
         """
         path = self.path_for(payload)
         try:
+            maybe_raise("cache.load")
             document = json.loads(path.read_text())
             if document.get("format_version") != _FORMAT_VERSION:
                 raise ValueError("unsupported cache format")
@@ -90,6 +153,7 @@ class DiskCache:
         """Atomically write ``result`` for ``payload``; best-effort on errors."""
         document = {"format_version": _FORMAT_VERSION, "result": result}
         try:
+            maybe_raise("cache.store")
             return atomic_write_json(self.path_for(payload), document)
         except (OSError, TypeError, ValueError):
             return None  # caching is best-effort, never fatal

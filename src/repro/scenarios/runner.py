@@ -15,21 +15,35 @@ byte-identical to what one unsharded run writes.
 ``resume=True`` skips points whose artifact already exists and validates
 (same format version, same axis assignment, metrics present).  A *corrupt*
 artifact — unreadable JSON, a different point under the same name, a
-missing metrics object — raises :class:`CorruptPointArtifact` instead of
-being silently recomputed: on a sharded sweep a bad file usually means a
-torn copy or a mixed-up artifact directory, which the operator should see.
-Deleting the offending file makes ``resume`` recompute exactly that point.
+missing metrics object — is **quarantined and recomputed**: the offending
+file is moved (never deleted — the operator can still inspect a torn copy
+or a mixed-up artifact directory) to a ``quarantine/`` sibling of the
+``points/`` directory and the point rejoins the to-compute list, so one
+bad file can no longer abort a resumed sweep.  Every quarantine is
+reported in the run's failure accounting.  Aggregation
+(:func:`repro.scenarios.report.aggregate`) still *raises* on a corrupt
+artifact: a report must never silently paper over bad inputs.
+
+Each run also checkpoints defensively: stale atomic-write temp files left
+by writers that died mid-write are swept on entry, every artifact is
+validated immediately after it is written (a torn write is quarantined and
+rewritten from the in-memory metrics), and the executor's per-job
+timeout/retry/salvage accounting is surfaced through
+:class:`SweepRunReport`.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.gpu.engine import pinned_engine
-from repro.runtime.cache import atomic_write_json
+from repro.runtime import faults
+from repro.runtime.cache import atomic_write_json, sweep_stale_tmps
+from repro.runtime.executor import JobReport, SweepExecutor
 from repro.scenarios.grid import ScenarioError, ScenarioGrid, ScenarioPoint
 
 POINT_FORMAT_VERSION = 1
@@ -61,6 +75,11 @@ def points_dir(cache_dir: Union[str, Path], grid_name: str, label: str) -> Path:
 def _write_json(path: Path, payload: Dict[str, Any]) -> Path:
     """Atomic, canonical (sorted-keys, trailing-newline) JSON write."""
     return atomic_write_json(path, payload, indent=2, trailing_newline=True)
+
+
+def _short_reason(error: CorruptPointArtifact) -> str:
+    """The quarantine-record reason: the diagnosis without the delete hint."""
+    return str(error).split(" — ")[0]
 
 
 def evaluate_point(point: ScenarioPoint, base_config) -> Dict[str, Any]:
@@ -135,6 +154,59 @@ class PointStatus:
     status: str  # "computed" or "skipped"
 
 
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One corrupt artifact moved aside instead of aborting the sweep."""
+
+    point: ScenarioPoint
+    source: Path
+    destination: Path
+    reason: str
+
+
+@dataclass
+class SweepRunReport:
+    """Failure accounting of one :meth:`SweepRunner.run_report` call."""
+
+    statuses: List[PointStatus] = field(default_factory=list)
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
+    repaired_writes: int = 0
+    stale_tmps_removed: int = 0
+    job_report: Optional[JobReport] = None
+
+    @property
+    def computed(self) -> int:
+        return sum(status.status == "computed" for status in self.statuses)
+
+    @property
+    def skipped(self) -> int:
+        return len(self.statuses) - self.computed
+
+    def summary_lines(self) -> List[str]:
+        """The failure-accounting lines ``repro sweep run`` prints."""
+        lines = []
+        if self.job_report is not None:
+            lines.append(f"jobs: {self.job_report.summary()}")
+        if self.stale_tmps_removed:
+            plural = "" if self.stale_tmps_removed == 1 else "s"
+            lines.append(f"swept {self.stale_tmps_removed} stale temp file{plural}")
+        for record in self.quarantined:
+            lines.append(
+                f"quarantined {record.source.name} -> {record.destination} "
+                f"({record.reason})"
+            )
+        if self.repaired_writes:
+            plural = "" if self.repaired_writes == 1 else "s"
+            lines.append(
+                f"repaired {self.repaired_writes} torn artifact write{plural} "
+                f"(validated after rewrite)"
+            )
+        spec = faults.active_spec()
+        if spec is not None:
+            lines.append(f"faults injected: {spec.describe()}")
+        return lines
+
+
 class SweepRunner:
     """Executes a grid (or one shard of it) into per-point artifacts."""
 
@@ -190,40 +262,59 @@ class SweepRunner:
         except OSError as error:
             raise CorruptPointArtifact(
                 f"point artifact {path} is unreadable ({error}) — "
-                f"delete it to recompute the point"
+                f"a resumed run quarantines and recomputes it"
             ) from None
         try:
             document = json.loads(text)
         except ValueError:
             raise CorruptPointArtifact(
                 f"point artifact {path} is not valid JSON (truncated or corrupt) — "
-                f"delete it to recompute the point"
+                f"a resumed run quarantines and recomputes it"
             ) from None
         if not isinstance(document, dict) or document.get("format_version") != POINT_FORMAT_VERSION:
             raise CorruptPointArtifact(
                 f"point artifact {path} has an unsupported format "
                 f"(expected format_version {POINT_FORMAT_VERSION}) — "
-                f"delete it to recompute the point"
+                f"a resumed run quarantines and recomputes it"
             )
         if document.get("point") != point.payload() or document.get("grid") != self.grid.name:
             raise CorruptPointArtifact(
                 f"point artifact {path} describes a different scenario than "
                 f"{point.point_id!r} — the artifact directory is inconsistent; "
-                f"delete the file to recompute the point"
+                f"a resumed run quarantines and recomputes it"
             )
         metrics = document.get("metrics")
         if not isinstance(metrics, dict):
             raise CorruptPointArtifact(
                 f"point artifact {path} has no metrics object — "
-                f"delete it to recompute the point"
+                f"a resumed run quarantines and recomputes it"
             )
         incomplete = [name for name in POINT_METRICS if name not in metrics]
         if incomplete:
             raise CorruptPointArtifact(
                 f"point artifact {path} is missing metrics "
-                f"({', '.join(incomplete)}) — delete it to recompute the point"
+                f"({', '.join(incomplete)}) — a resumed run quarantines and recomputes it"
             )
         return document
+
+    # -- quarantine ---------------------------------------------------------------
+
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / "quarantine"
+
+    def _quarantine(
+        self, point: ScenarioPoint, path: Path, reason: str
+    ) -> QuarantineRecord:
+        """Move a corrupt artifact aside (never delete — operators inspect it)."""
+        self.quarantine_root.mkdir(parents=True, exist_ok=True)
+        destination = self.quarantine_root / path.name
+        suffix = 1
+        while destination.exists():
+            destination = self.quarantine_root / f"{path.name}.{suffix}"
+            suffix += 1
+        os.replace(path, destination)
+        return QuarantineRecord(point, path, destination, reason)
 
     # -- execution ----------------------------------------------------------------
 
@@ -233,39 +324,125 @@ class SweepRunner:
         resume: bool = False,
         jobs: Optional[int] = None,
         progress: Optional[Callable[[PointStatus], None]] = None,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
     ) -> List[PointStatus]:
         """Execute the grid (or one shard), writing one artifact per point."""
+        return self.run_report(
+            shard=shard,
+            resume=resume,
+            jobs=jobs,
+            progress=progress,
+            timeout=timeout,
+            retries=retries,
+        ).statuses
+
+    def run_report(
+        self,
+        shard: Optional[Tuple[int, int]] = None,
+        resume: bool = False,
+        jobs: Optional[int] = None,
+        progress: Optional[Callable[[PointStatus], None]] = None,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> SweepRunReport:
+        """Like :meth:`run`, returning the full failure accounting."""
         points = self.grid.shard(*shard) if shard is not None else self.grid.points()
+        report = SweepRunReport()
+        report.stale_tmps_removed = sweep_stale_tmps(
+            points_dir(self.cache_dir, self.grid.name, self.label)
+        )
         statuses: Dict[ScenarioPoint, PointStatus] = {}
         todo: List[ScenarioPoint] = []
         for point in points:
-            if resume and self.load_point(point) is not None:
-                statuses[point] = PointStatus(point, self.point_path(point), "skipped")
-                if progress is not None:
-                    progress(statuses[point])
-            else:
-                todo.append(point)
-        for point, metrics in zip(todo, self._compute(todo, jobs)):
-            path = _write_json(self.point_path(point), self.point_payload(point, metrics))
+            if resume:
+                try:
+                    document = self.load_point(point)
+                except CorruptPointArtifact as error:
+                    record = self._quarantine(
+                        point, self.point_path(point), _short_reason(error)
+                    )
+                    report.quarantined.append(record)
+                    todo.append(point)
+                    continue
+                if document is not None:
+                    statuses[point] = PointStatus(point, self.point_path(point), "skipped")
+                    if progress is not None:
+                        progress(statuses[point])
+                    continue
+            todo.append(point)
+        spec = faults.active_spec()
+        write_plan = spec.site_plan("runner.write", len(todo)) if spec else {}
+        executor: Optional[SweepExecutor] = None
+        for index, (point, metrics) in enumerate(
+            zip(todo, self._compute(todo, jobs, timeout, retries))
+        ):
+            path = self._write_point(point, metrics, report, write_plan.pop(index, None))
             statuses[point] = PointStatus(point, path, "computed")
             if progress is not None:
                 progress(statuses[point])
-        return [statuses[point] for point in points]
+            executor = self._last_executor
+        if executor is not None:
+            report.job_report = executor.last_report
+        report.statuses = [statuses[point] for point in points]
+        return report
 
-    def _compute(self, todo: Sequence[ScenarioPoint], jobs: Optional[int]):
+    def _write_point(
+        self,
+        point: ScenarioPoint,
+        metrics: Dict[str, Any],
+        report: SweepRunReport,
+        injected_mode: Optional[str] = None,
+    ) -> Path:
+        """Write one artifact and validate it back before trusting it.
+
+        A write that does not validate (torn by a crash — or by the
+        ``runner.write`` fault site simulating one) is quarantined and
+        rewritten from the in-memory metrics; the metrics are deterministic,
+        so the repaired artifact is byte-identical to an untorn one.
+        """
+        path = self.point_path(point)
+        payload = self.point_payload(point, metrics)
+        for attempt in range(3):
+            _write_json(path, payload)
+            if injected_mode is not None:
+                faults.corrupt_artifact(path, injected_mode)
+                injected_mode = None  # a torn write happens once, not per retry
+            try:
+                self.load_point(point)
+                return path
+            except CorruptPointArtifact as error:
+                if attempt == 2:
+                    raise
+                report.quarantined.append(
+                    self._quarantine(point, path, _short_reason(error))
+                )
+                report.repaired_writes += 1
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _compute(
+        self,
+        todo: Sequence[ScenarioPoint],
+        jobs: Optional[int],
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ):
+        self._last_executor: Optional[SweepExecutor] = None
         if self._evaluate is not None:
             for point in todo:
                 yield self._evaluate(point)
             return
-        from repro.runtime.executor import SweepExecutor
-
-        executor = SweepExecutor(jobs=jobs)
+        executor = SweepExecutor(jobs=jobs, timeout=timeout, retries=retries)
+        self._last_executor = executor
         if executor.parallel and len(todo) > 1:
             self._prefetch_models(todo)
             yield from executor.map(_point_job, [(point, self.config) for point in todo])
             return
+        # Serial path streams through the executor one job at a time so the
+        # artifacts checkpoint as they land (an interrupt loses at most the
+        # in-flight point) while retaining the retry policy and accounting.
         for point in todo:
-            yield evaluate_point(point, self.config)
+            yield executor.run_one(evaluate_point, (point, self.config))
 
     def _prefetch_models(self, todo: Sequence[ScenarioPoint]) -> None:
         """Resolve every model the shard needs once, in this process, so the

@@ -83,29 +83,42 @@ def _first_point_artifact(cache: Path) -> Path:
     return points[0]
 
 
-def test_corrupt_point_artifact_on_resume(sweep_cache, capsys):
+def test_corrupt_point_artifact_on_resume_is_quarantined(sweep_cache, capsys):
     # A real (tiny) run first, so there is an artifact to corrupt.
     code, _ = run_cli(capsys, "sweep", "run", "smoke", "--fast", "--shard", "1/2")
     assert code == 0
     victim = _first_point_artifact(sweep_cache)
+    pristine = victim.read_bytes()
     victim.write_text("{truncated")
+    # A corrupt artifact no longer aborts the resumed run: it is moved to
+    # quarantine/, named in the summary, and the point is recomputed.
     code, captured = run_cli(
         capsys, "sweep", "run", "smoke", "--fast", "--shard", "1/2", "--resume"
     )
-    assert code == 1
-    assert "not valid JSON" in captured.err
-    assert str(victim) in captured.err
-    assert "delete it to recompute" in captured.err
+    assert code == 0
+    assert "quarantined" in captured.out
+    assert "not valid JSON" in captured.out
+    assert victim.name in captured.out
+    assert victim.read_bytes() == pristine
+    quarantine = victim.parent.parent / "quarantine"
+    assert (quarantine / victim.name).read_text() == "{truncated"
 
-    # A parseable artifact describing a different scenario is just as fatal.
+    # Same recovery for a parseable artifact describing a different scenario.
     payload = {"format_version": 1, "kind": "sweep-point", "grid": "smoke",
                "point": {"scheme": "other"}, "metrics": {}}
     victim.write_text(json.dumps(payload))
     code, captured = run_cli(
         capsys, "sweep", "run", "smoke", "--fast", "--shard", "1/2", "--resume"
     )
+    assert code == 0
+    assert "different scenario" in captured.out
+    assert victim.read_bytes() == pristine
+
+    # Aggregation, by contrast, still refuses corrupt inputs outright.
+    victim.write_text("{truncated")
+    code, captured = run_cli(capsys, "sweep", "report", "smoke", "--fast")
     assert code == 1
-    assert "different scenario" in captured.err
+    assert "not valid JSON" in captured.err
 
 
 def test_report_with_missing_points(sweep_cache, capsys):

@@ -10,6 +10,7 @@ The two load-bearing guarantees of the runtime subsystem:
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import replace
 
 import pytest
@@ -76,9 +77,19 @@ class TestSweepExecutor:
         assert resolve_jobs() == 3
         monkeypatch.setenv("REPRO_JOBS", "auto")
         assert resolve_jobs() >= 1
-        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
-        assert resolve_jobs() == 1
         assert resolve_jobs(jobs=5) == 5
+
+    def test_resolve_jobs_warns_once_on_invalid_value(self, monkeypatch):
+        from repro.runtime import executor as executor_module
+
+        monkeypatch.setattr(executor_module, "_warned_env", set())
+        monkeypatch.setenv("REPRO_JOBS", "max")
+        with pytest.warns(RuntimeWarning, match="REPRO_JOBS='max'.*serial"):
+            assert resolve_jobs() == 1
+        # The warning names the bad value exactly once per process.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_jobs() == 1
 
     def test_serial_map_preserves_order(self):
         executor = SweepExecutor(jobs=1)

@@ -151,16 +151,35 @@ def test_resume_skips_are_byte_stable(tmp_path):
         ),
     ],
 )
-def test_corrupt_point_artifact_is_an_error_on_resume(tmp_path, corruption, fragment):
+def test_corrupt_point_artifact_is_quarantined_and_recomputed_on_resume(
+    tmp_path, corruption, fragment
+):
     grid = ScenarioGrid("corrupt", {"benchmark": ["mvt"], "scheme": ["gto", "ccws"]})
     runner = make_runner(grid, tmp_path)
     statuses = runner.run()
+    pristine = artifact_bytes(runner)
     corruption(statuses[0].path)
-    with pytest.raises(CorruptPointArtifact, match=fragment):
-        runner.run(resume=True)
+    corrupt_bytes = statuses[0].path.read_bytes()
+
+    # Aggregation still refuses corrupt inputs — only a resumed *run* heals.
     config = replace(ExperimentConfig.fast(), cache_dir=tmp_path)
     with pytest.raises(CorruptPointArtifact, match=fragment):
         aggregate(grid, config)
+
+    report = runner.run_report(resume=True)
+    # Exactly the corrupt point was quarantined and recomputed.
+    assert [record.point.point_id for record in report.quarantined] == [
+        statuses[0].point.point_id
+    ]
+    assert report.computed == 1 and report.skipped == 1
+    # The corrupt file was moved aside, not deleted: the quarantined copy is
+    # byte-for-byte what the corruption produced.
+    record = report.quarantined[0]
+    assert record.destination.parent == runner.quarantine_root
+    assert record.destination.read_bytes() == corrupt_bytes
+    # The recomputed artifact restores the pristine bytes, so aggregation works.
+    assert artifact_bytes(runner) == pristine
+    aggregate(grid, config)
 
 
 # ---------------------------------------------------------------------------
