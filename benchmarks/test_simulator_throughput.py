@@ -13,6 +13,10 @@ Acceptance:
   ``BENCH_throughput.json`` on both bracket kernels,
 * the fast core must beat a live legacy run by at least 2× (the same
   ratio the CI perf gate enforces, robust to host speed),
+* the event-skipping core must beat a live legacy run by at least 2× on
+  the classic brackets, and a live **fast** run by at least **5×**
+  (``EVENT_GATE_RATIO``) on the MSHR-saturating memory-stall bracket —
+  the span-jumping payoff the engine exists for,
 * the cached sweep must be at least 3× faster than the cold serial sweep,
   and a parallel sweep must reproduce the serial grid bit-for-bit.
 """
@@ -25,12 +29,15 @@ from pathlib import Path
 import pytest
 
 from repro.runtime.bench import (
+    EVENT_GATE_RATIO,
     committed_legacy_baseline,
     compute_intensive_kernel,
     load_trajectory,
     measure_sweep,
     measure_throughput,
     memory_divergent_kernel,
+    memory_stall_config,
+    memory_stall_kernel,
 )
 
 #: Sanity floor for the hot loop, far below what any machine measures (the
@@ -94,10 +101,14 @@ def test_fast_core_speedup_over_committed_baseline(benchmark, make_spec):
     """The struct-of-arrays core clears >= 3x the committed PR 1 baseline."""
     spec = make_spec()
     baseline_cps = committed_baseline_cps(spec.name)
+    # Fastest of 5 rounds (not 3): the assertion compares against an absolute
+    # committed cycles/s, so late in a full-suite run — after minutes of
+    # sustained simulation on the 1-CPU reference box — the extra rounds are
+    # what keep a ~3.2x-true measurement from sampling below the 3x floor.
     result = benchmark.pedantic(
         measure_throughput,
         args=(spec,),
-        kwargs={"engine": "fast", "rounds": 3},
+        kwargs={"engine": "fast", "rounds": 5},
         rounds=1,
         iterations=1,
     )
@@ -153,6 +164,67 @@ def test_fast_core_speedup_over_live_legacy(benchmark):
             f"fast core only {ratio:.2f}x a live legacy run on {kernel} "
             f"(need >= {MIN_LIVE_SPEEDUP_OVER_LEGACY}x)"
         )
+
+
+def test_event_core_speedup_over_live_legacy(benchmark):
+    """The event core holds the same live-legacy gate as the fast core on
+    the classic brackets (where there are few dead spans to jump, it must
+    still never be slower than the oracle by the gate's margin)."""
+
+    def measure_both():
+        results = {}
+        for make_spec in (memory_divergent_kernel, compute_intensive_kernel):
+            spec = make_spec()
+            event = measure_throughput(spec, engine="event", rounds=3)
+            legacy = measure_throughput(spec, engine="legacy", rounds=3)
+            results[spec.name] = (
+                event["cycles_per_second"],
+                legacy["cycles_per_second"],
+            )
+        return results
+
+    results = benchmark.pedantic(measure_both, rounds=1, iterations=1)
+    print()
+    for kernel, (event_cps, legacy_cps) in results.items():
+        ratio = event_cps / legacy_cps
+        print(
+            f"{kernel}: event {event_cps:,.0f} vs legacy {legacy_cps:,.0f} "
+            f"cycles/s -> {ratio:.2f}x"
+        )
+        assert ratio >= MIN_LIVE_SPEEDUP_OVER_LEGACY, (
+            f"event core only {ratio:.2f}x a live legacy run on {kernel} "
+            f"(need >= {MIN_LIVE_SPEEDUP_OVER_LEGACY}x)"
+        )
+
+
+def test_event_core_speedup_over_live_fast_on_memory_stall(benchmark):
+    """The headline event-engine gate: on the congested memory-stall bracket
+    (24 warps of dependent DRAM misses, congestion_factor 4.0 — every issue
+    attempt an MSHR-full retry) the event core must clear >= 5x a live fast
+    run, because each ~112-cycle retry span collapses into one jump."""
+    spec = memory_stall_kernel()
+    config = memory_stall_config()
+
+    def measure_both():
+        event = measure_throughput(spec, engine="event", rounds=3, config=config)
+        fast = measure_throughput(spec, engine="fast", rounds=3, config=config)
+        return event, fast
+
+    event, fast = benchmark.pedantic(measure_both, rounds=1, iterations=1)
+    ratio = event["cycles_per_second"] / fast["cycles_per_second"]
+    print()
+    print(
+        f"{spec.name}: event {event['cycles_per_second']:,.0f} vs fast "
+        f"{fast['cycles_per_second']:,.0f} cycles/s -> {ratio:.2f}x"
+    )
+    assert event["cycles"] == fast["cycles"], (
+        "the throughput comparison is only meaningful if both engines "
+        "simulate the identical cycle count"
+    )
+    assert ratio >= EVENT_GATE_RATIO, (
+        f"event core only {ratio:.2f}x a live fast run on {spec.name} "
+        f"(need >= {EVENT_GATE_RATIO}x)"
+    )
 
 
 def test_fast_profile_sweep_speedup(benchmark, tmp_path):

@@ -4,12 +4,12 @@ Appends one entry to ``BENCH_throughput.json`` (a JSON list, by default in
 the current directory) with:
 
 * hot-loop throughput (simulated cycles per wall-clock second) on the
-  memory-divergent and compute-intensive kernels, measured **per engine**
-  (``fast`` and ``legacy``),
+  memory-divergent, compute-intensive and memory-stall bracket kernels,
+  measured **per engine** (``fast``, ``legacy`` and ``event``),
 * a trace-replay row (decode + replay of a stencil-family trace),
 * the full bench **matrix** — every evaluation scheme
   (gto/swl/pcal/poise/static_best) × representative synthetic and
-  trace-family kernels × both engines — so the perf trajectory accumulates
+  trace-family kernels × every engine — so the perf trajectory accumulates
   comparable data points,
 * the fast-profile sweep wall-clock (cold serial vs. warm persistent-cache
   vs. parallel).
@@ -18,17 +18,20 @@ Every record carries ``engine``, ``python_version`` and ``cpu_count``; all
 timing is ``time.perf_counter``.
 
 ``--gate RATIO`` turns the run into a CI perf gate: it fails (exit 1) when
-the fast engine's throughput drops below ``RATIO`` × a **live legacy run on
-the same host** on either bracket kernel — a host-speed-independent
-regression signal (both engines pay the same slowdown on a throttled
-runner).  The ratio against the committed legacy baseline (the earliest
-trajectory entry, measured on the reference container) is reported
+the fast (or event) engine's throughput drops below ``RATIO`` × a **live
+legacy run on the same host** on either bracket kernel — a
+host-speed-independent regression signal (both engines pay the same
+slowdown on a throttled runner).  When the event engine is benchmarked the
+gate additionally requires it to hold ≥5x over a live fast run on the
+MSHR-saturating memory-stall bracket (the dead-cycle class only the event
+engine skips).  The ratio against the committed legacy baseline (the
+earliest trajectory entry, measured on the reference container) is reported
 alongside for trend context but never fails the gate off-host.
 
 Usage::
 
     python -m repro bench [--output PATH] [--jobs N] [--max-cycles N]
-                          [--engines fast,legacy] [--skip-matrix]
+                          [--engines fast,legacy,event] [--skip-matrix]
                           [--matrix-cycles N] [--gate RATIO] [--dry-run]
 """
 
@@ -44,6 +47,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.gpu.engine import resolve_engine
 from repro.runtime.bench import (
+    EVENT_GATE_KERNEL,
+    EVENT_GATE_RATIO,
     GATE_KERNELS,
     committed_legacy_baseline,
     compute_intensive_kernel,
@@ -54,6 +59,8 @@ from repro.runtime.bench import (
     measure_throughput,
     measure_trace_replay,
     memory_divergent_kernel,
+    memory_stall_config,
+    memory_stall_kernel,
 )
 from repro.runtime.executor import resolve_jobs
 from repro.version import __version__
@@ -76,8 +83,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="cycle budget per throughput kernel (default 80000)",
     )
     parser.add_argument(
-        "--engines", default="fast,legacy",
-        help="comma-separated engines to benchmark (default: fast,legacy)",
+        "--engines", default="fast,legacy,event",
+        help="comma-separated engines to benchmark (default: fast,legacy,event)",
     )
     parser.add_argument(
         "--skip-matrix", action="store_true",
@@ -108,11 +115,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--engines must name at least one engine")
 
     throughput: Dict[str, dict] = {}
+    stall_config = memory_stall_config(max_cycles=args.max_cycles)
     for engine in engines:
         rows = {}
-        for spec in (memory_divergent_kernel(), compute_intensive_kernel()):
+        for spec, config in (
+            (memory_divergent_kernel(), None),
+            (compute_intensive_kernel(), None),
+            (memory_stall_kernel(), stall_config),
+        ):
             result = measure_throughput(
-                spec, max_cycles=args.max_cycles, engine=engine, rounds=3
+                spec, max_cycles=args.max_cycles, engine=engine, rounds=3,
+                config=config,
             )
             rows[spec.name] = result
             print(
@@ -191,6 +204,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"{legacy_cps:,.0f} -> {ratio:.2f}x (need >= {args.gate:.2f}x) {verdict}"
                 )
                 if ratio < args.gate:
+                    gate_failed = True
+            event_rows = throughput.get("event")
+            if event_rows is not None:
+                # Same host-independent discipline for the event engine: it
+                # must keep the fast engine's lead over legacy on the
+                # bracket kernels ...
+                for kernel in GATE_KERNELS:
+                    event_cps = float(event_rows[kernel]["cycles_per_second"])
+                    legacy_cps = float(legacy_rows[kernel]["cycles_per_second"])
+                    ratio = event_cps / legacy_cps if legacy_cps else float("inf")
+                    verdict = "ok" if ratio >= args.gate else "FAIL"
+                    print(
+                        f"gate [{kernel}]: event {event_cps:,.0f} vs live legacy "
+                        f"{legacy_cps:,.0f} -> {ratio:.2f}x (need >= {args.gate:.2f}x) {verdict}"
+                    )
+                    if ratio < args.gate:
+                        gate_failed = True
+                # ... and demonstrate the event-skipping win itself: ≥5x
+                # over a live fast run on the MSHR-saturating bracket.
+                event_cps = float(event_rows[EVENT_GATE_KERNEL]["cycles_per_second"])
+                fast_cps = float(fast_rows[EVENT_GATE_KERNEL]["cycles_per_second"])
+                ratio = event_cps / fast_cps if fast_cps else float("inf")
+                verdict = "ok" if ratio >= EVENT_GATE_RATIO else "FAIL"
+                print(
+                    f"gate [{EVENT_GATE_KERNEL}]: event {event_cps:,.0f} vs live fast "
+                    f"{fast_cps:,.0f} -> {ratio:.2f}x (need >= {EVENT_GATE_RATIO:.2f}x) "
+                    f"{verdict}"
+                )
+                if ratio < EVENT_GATE_RATIO:
                     gate_failed = True
             # Context only: the trend against the committed reference-host
             # baseline (never fails the gate — CI runners differ in speed).

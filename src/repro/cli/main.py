@@ -274,6 +274,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    # Fail fast on a bad ambient REPRO_ENGINE: every subcommand simulates
+    # sooner or later, and without this check the ValueError only surfaces
+    # deep inside build_sm, mid-run, as a traceback.
+    from repro.gpu.engine import ENGINE_ENV, resolve_engine
+
+    try:
+        resolve_engine()
+    except ValueError as error:
+        print(f"error: {ENGINE_ENV}: {error}", file=sys.stderr)
+        return 2
     # bench/pretrain own their argument parsing entirely (they predate the
     # unified CLI as stand-alone scripts), so dispatch before parsing.
     if argv and argv[0] == "bench":

@@ -15,7 +15,8 @@ from typing import Optional, Sequence, Tuple
 from repro.gpu.config import GPUConfig, baseline_config
 from repro.gpu.counters import PerfCounters
 from repro.gpu.energy import EnergyModel, EnergyReport
-from repro.gpu.engine import ENGINE_LEGACY, resolve_engine
+from repro.gpu.engine import ENGINE_EVENT, ENGINE_LEGACY, resolve_engine
+from repro.gpu.eventcore import EventStreamingMultiprocessor
 from repro.gpu.fastcore import FastStreamingMultiprocessor
 from repro.gpu.isa import Instruction
 from repro.gpu.sm import CacheManagementPolicy, StreamingMultiprocessor
@@ -54,11 +55,11 @@ class RunResult:
 class GPU:
     """Facade that runs kernels on the simulated SM.
 
-    ``engine`` selects the simulator core (``"fast"``/``"legacy"``); when
-    ``None`` the choice is deferred to build time so the ``REPRO_ENGINE``
-    environment variable is honoured even if it changes after construction.
-    Both engines are bit-identical on every counter, so the choice never
-    affects results — only wall-clock.
+    ``engine`` selects the simulator core (``"fast"``/``"legacy"``/
+    ``"event"``); when ``None`` the choice is deferred to build time so the
+    ``REPRO_ENGINE`` environment variable is honoured even if it changes
+    after construction.  All engines are bit-identical on every counter, so
+    the choice never affects results — only wall-clock.
     """
 
     def __init__(self, config: Optional[GPUConfig] = None, engine: Optional[str] = None) -> None:
@@ -76,11 +77,12 @@ class GPU:
         engine: Optional[str] = None,
     ):
         resolved = resolve_engine(engine if engine is not None else self.engine)
-        core = (
-            StreamingMultiprocessor
-            if resolved == ENGINE_LEGACY
-            else FastStreamingMultiprocessor
-        )
+        if resolved == ENGINE_LEGACY:
+            core = StreamingMultiprocessor
+        elif resolved == ENGINE_EVENT:
+            core = EventStreamingMultiprocessor
+        else:
+            core = FastStreamingMultiprocessor
         return core(
             self.config, programs, cache_policy=cache_policy, trace_capture=trace_capture
         )
@@ -107,7 +109,8 @@ class GPU:
             cache_policy: optional instruction-based cache management hook.
             trace_capture: optional issued-stream recorder
                 (:class:`repro.trace.capture.TraceCapture`).
-            engine: simulator core override (``"fast"``/``"legacy"``).
+            engine: simulator core override
+                (``"fast"``/``"legacy"``/``"event"``).
         """
         sm = self.build_sm(
             programs, cache_policy=cache_policy, trace_capture=trace_capture, engine=engine

@@ -1,11 +1,15 @@
 """Simulator-throughput microbenchmarks (shared by pytest and the CLI).
 
-Two workloads bracket the simulator's behaviour:
+Three workloads bracket the simulator's behaviour:
 
 * a *memory-divergent* kernel (frequent loads, large working set) that
-  exercises the MSHR/response machinery and the stall fast-forward path, and
+  exercises the MSHR/response machinery and the stall fast-forward path,
 * a *compute-intensive* kernel (rare loads) that exercises the issue loop
-  and the scheduler's greedy path.
+  and the scheduler's greedy path, and
+* a *memory-stall* kernel (streaming load bursts under a bandwidth-starved
+  memory) that saturates the MSHR file so almost every cycle is an
+  MSHR-full retry — the dead-cycle class only the ``event`` engine skips,
+  and therefore the bracket its ≥5x perf gate is measured on.
 
 ``measure_throughput`` reports simulated cycles per wall-clock second —
 the BENCH trajectory metric for the hot loop — for either engine.
@@ -32,11 +36,11 @@ import os
 import platform
 import sys
 import time
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.gpu.config import baseline_config
+from repro.gpu.config import GPUConfig, MemoryConfig, baseline_config
 from repro.gpu.engine import resolve_engine
 from repro.gpu.gpu import GPU
 from repro.profiling.profiler import KernelProfiler
@@ -49,6 +53,11 @@ MATRIX_SCHEMES = ("gto", "swl", "pcal", "poise", "static_best")
 
 #: The two bracket kernels perf gates compare across engines/baselines.
 GATE_KERNELS = ("bench_memory_divergent", "bench_compute_intensive")
+
+#: The MSHR-saturating bracket the event engine's perf gate runs on, and the
+#: minimum cycles/second ratio it must hold over a live ``fast`` run.
+EVENT_GATE_KERNEL = "bench_memory_stall"
+EVENT_GATE_RATIO = 5.0
 
 
 def host_environment() -> Dict[str, object]:
@@ -162,18 +171,82 @@ def compute_intensive_kernel() -> KernelSpec:
     )
 
 
+@dataclass(frozen=True)
+class MemoryStallKernelSpec(KernelSpec):
+    """Streaming load bursts that keep the MSHR file pinned at capacity.
+
+    Every instruction is a load of a fresh line (no reuse, so every access
+    misses and every miss needs a new MSHR entry) and the dependency
+    distances are shaped so no warp ever blocks on a pending load: the
+    first-dependent index of the ``i``-th load is ``2n - i + 1`` — always
+    beyond the program counter, and *decreasing* in issue order so the
+    pending-load minimum is maintained by the cheap issue-side update
+    rather than a completion-side rescan.  The scheduler therefore always
+    has a warp that *wants* to issue, the memory system drains one line per
+    DRAM service interval, and essentially every simulated cycle in between
+    is an MSHR-full retry — the dead-cycle class the ``event`` engine jumps
+    and the per-cycle engines tick.
+    """
+
+    def materialise_programs(self) -> Tuple[Tuple, ...]:
+        from repro.gpu.isa import load
+
+        programs = []
+        line = 1 << 44  # streaming region: never aliases the synthetic kernels
+        n = self.instructions_per_warp
+        for _ in range(self.num_warps):
+            program = tuple(
+                load(line + index, dep_distance=2 * (n - index), pc=1200)
+                for index in range(n)
+            )
+            line += n
+            programs.append(program)
+        return tuple(programs)
+
+
+def memory_stall_kernel() -> KernelSpec:
+    """Every instruction is a streaming load; the MSHR file is the limiter."""
+    return MemoryStallKernelSpec(
+        name="bench_memory_stall",
+        num_warps=24,
+        instructions_per_warp=4_000,
+        instructions_per_load=1,
+        dep_distance=8,
+        intra_warp_fraction=0.0,
+        inter_warp_fraction=0.0,
+        seed=11,
+    )
+
+
+def memory_stall_config(max_cycles: int = 80_000) -> GPUConfig:
+    """The bandwidth-starved memory the memory-stall bracket runs under.
+
+    ``congestion_factor`` (the sensitivity-study knob) scales the L2/DRAM
+    service intervals 4x, widening the gap between consecutive MSHR fills
+    to ~112 cycles — long retry spans for the event engine to jump while
+    the per-cycle engines pay for every one of them.
+    """
+    return baseline_config(
+        max_cycles=max_cycles, memory=MemoryConfig(congestion_factor=4.0)
+    )
+
+
 def measure_throughput(
     spec: KernelSpec,
     max_cycles: int = 80_000,
     engine: Optional[str] = None,
     rounds: int = 1,
+    config: Optional[GPUConfig] = None,
 ) -> Dict[str, float]:
     """Run one kernel and report simulated cycles per wall-clock second.
 
     ``rounds`` > 1 repeats the run and keeps the fastest round — simulated
     counters are deterministic, so extra rounds only reduce timer noise.
+    ``config`` overrides the baseline architecture (the memory-stall bracket
+    passes its bandwidth-starved memory); ``max_cycles`` still bounds the
+    run either way.
     """
-    config = baseline_config(max_cycles=max_cycles)
+    config = config if config is not None else baseline_config(max_cycles=max_cycles)
     gpu = GPU(config, engine=engine)
     programs = generate_kernel_programs(spec)
     elapsed = None

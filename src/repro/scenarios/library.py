@@ -113,11 +113,11 @@ def _builtin_grids() -> List[ScenarioGrid]:
         ScenarioGrid(
             "engine-parity",
             {
-                "engine": ("fast", "legacy"),
+                "engine": ("fast", "legacy", "event"),
                 "scheme": ("gto", "ccws"),
                 "benchmark": ("mvt", "stencil"),
             },
-            description="Both simulator engines over the same points (caches bypassed) "
+            description="All simulator engines over the same points (caches bypassed) "
             "— their metrics must be identical",
         ),
         ScenarioGrid(
@@ -125,9 +125,10 @@ def _builtin_grids() -> List[ScenarioGrid]:
             {
                 "scheme": ("gto", "ccws"),
                 "benchmark": ("gather", "mvt"),
-                "l1_scale": (1,),
+                "engine": ("fast", "event"),
             },
-            description="Tiny 2×2×1 grid for CI shard/union checks",
+            description="Tiny 2×2×2 grid for CI shard/union checks "
+            "(engine-pinned, so shards also exercise both hot-loop cores)",
         ),
     ]
 

@@ -1,0 +1,210 @@
+"""N-way engine-conformance harness.
+
+The reproduction ships several simulator engines (``repro.gpu.engine.ENGINES``)
+that must all be *bit-identical* to the ``legacy`` oracle — every counter,
+the cycle count, the final warp tuple, the completion flag and the
+controller telemetry, on any kernel under any scheme.  This module is the
+shared verification layer that proves it:
+
+* :data:`ORACLE` / :data:`CANDIDATE_ENGINES` enumerate the registry, so a
+  newly registered engine is covered by every conformance test with **zero
+  new test code** — registering the name in ``ENGINES`` (plus its branch in
+  ``GPU.build_sm``) is the entire integration surface;
+* :func:`assert_conformance` runs the oracle once and every candidate
+  engine against it, failing with the first drifting counter *named* (the
+  differential debugging entry point);
+* :func:`drive_windowed` replays an adversarial controller script — random
+  interleavings of ``set_warp_tuple`` / ``run_cycles`` / ``snapshot`` (the
+  access pattern of the PCAL/Poise sampling loops) — and returns the
+  per-window counter trail for cross-engine comparison;
+* the Hypothesis strategies (:data:`kernel_specs`, :data:`small_archs`) and
+  the deterministic controller/model builders are shared by the
+  differential suite and any future engine's targeted tests.
+
+To run the harness against a new engine: add its name to ``ENGINES``, map
+it in ``GPU.build_sm``, then ``PYTHONPATH=src python -m pytest
+tests/test_fastcore_differential.py tests/test_golden_counters.py`` — every
+test in those files parameterizes over the registry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from hypothesis import strategies as st
+
+from repro.core.inference import PoiseParameters
+from repro.core.poise import PoiseController
+from repro.core.training import TrainedModel
+from repro.gpu.config import CacheConfig, GPUConfig, MemoryConfig, SMConfig
+from repro.gpu.engine import ENGINE_LEGACY, ENGINES
+from repro.gpu.gpu import GPU
+from repro.runtime import serialization
+from repro.schedulers import (
+    GTOController,
+    PCALController,
+    StaticBestController,
+    SWLController,
+)
+from repro.schedulers.pcal import PCALParameters
+from repro.workloads.spec import KernelSpec
+
+#: The specification: readable, heavily unit-tested, never optimised.
+ORACLE = ENGINE_LEGACY
+
+#: Every registered engine that must reproduce the oracle bit for bit.
+CANDIDATE_ENGINES: Tuple[str, ...] = tuple(
+    engine for engine in ENGINES if engine != ORACLE
+)
+
+SCHEMES = ("gto", "swl", "pcal", "poise", "static_best")
+
+
+def fixed_model() -> TrainedModel:
+    """Fixed-weight Poise model, as in the golden-counter suite."""
+    return TrainedModel(
+        alpha_weights=[0.02, -0.03, 0.05, 0.01, -0.02, 0.04, 0.60, 0.30],
+        beta_weights=[0.01, -0.02, 0.03, 0.02, -0.01, 0.02, 0.30, 0.15],
+        max_warps=24,
+        dispersion_n=0.1,
+        dispersion_p=0.1,
+        num_training_kernels=0,
+    )
+
+
+def make_controller(scheme: str, seed: int):
+    """A deterministic controller for ``scheme`` that needs no profile."""
+    if scheme == "gto":
+        return GTOController()
+    if scheme == "swl":
+        return SWLController(limit=1 + seed % 8)
+    if scheme == "pcal":
+        return PCALController(
+            swl_limit=1 + seed % 8,
+            params=PCALParameters(warmup_cycles=300, sample_cycles=700, max_hill_steps=3),
+        )
+    if scheme == "static_best":
+        return StaticBestController(best_tuple=(1 + seed % 12, 1 + seed % 4))
+    if scheme == "poise":
+        return PoiseController(
+            fixed_model(),
+            PoiseParameters(
+                t_period=6_000, t_warmup=400, t_feature=900, t_search=500,
+                threshold_cycles=800,
+            ),
+        )
+    raise ValueError(scheme)
+
+
+def run_snapshot(engine: str, config: GPUConfig, programs, controller=None,
+                 cache_policy=None, max_cycles: int = 20_000) -> dict:
+    """One kernel execution on one engine, reduced to comparable plain data."""
+    result = GPU(config).run_kernel(
+        [list(program) for program in programs],
+        controller=controller,
+        cache_policy=cache_policy,
+        max_cycles=max_cycles,
+        engine=engine,
+    )
+    return {
+        "counters": serialization.counters_to_dict(result.counters),
+        "cycles": result.cycles,
+        "warp_tuple": result.warp_tuple,
+        "completed": result.completed,
+        "telemetry": serialization.encode_value(result.telemetry),
+    }
+
+
+def assert_conformance(
+    config: GPUConfig,
+    programs,
+    controller_factory=None,
+    cache_policy_factory=None,
+    max_cycles: int = 20_000,
+    engines: Optional[Tuple[str, ...]] = None,
+) -> None:
+    """Run the oracle once, then every candidate engine, asserting that each
+    reproduces the oracle exactly — first drifting counter named."""
+    oracle = run_snapshot(
+        ORACLE, config, programs,
+        controller=controller_factory() if controller_factory else None,
+        cache_policy=cache_policy_factory() if cache_policy_factory else None,
+        max_cycles=max_cycles,
+    )
+    for engine in engines if engines is not None else CANDIDATE_ENGINES:
+        candidate = run_snapshot(
+            engine, config, programs,
+            controller=controller_factory() if controller_factory else None,
+            cache_policy=cache_policy_factory() if cache_policy_factory else None,
+            max_cycles=max_cycles,
+        )
+        for counter, value in oracle["counters"].items():
+            assert candidate["counters"][counter] == value, (
+                f"counter {counter!r} drifted: {ORACLE}={value} "
+                f"{engine}={candidate['counters'][counter]}"
+            )
+        assert candidate == oracle, f"engine {engine!r} drifted from {ORACLE}"
+
+
+def drive_windowed(
+    engine: str, config: GPUConfig, programs,
+    script: List[Tuple[int, int, int]], tail_cycles: int = 50_000,
+) -> list:
+    """Replay a ``(n, p, window)`` controller script on ``engine`` and return
+    the per-window counter-delta trail plus the final state."""
+    sm = GPU(config).build_sm([list(p) for p in programs], engine=engine)
+    trail = []
+    for n, p, window in script:
+        sm.set_warp_tuple(n, p)
+        before = sm.snapshot()
+        consumed = sm.run_cycles(window)
+        trail.append(
+            (consumed, serialization.counters_to_dict(sm.counters - before))
+        )
+    sm.run_to_completion(tail_cycles)
+    trail.append((sm.cycle, sm.done, serialization.counters_to_dict(sm.counters)))
+    return trail
+
+
+# ---------------------------------------------------------------------------
+# Shared Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+kernel_specs = st.builds(
+    KernelSpec,
+    name=st.just("diff_kernel"),
+    num_warps=st.integers(1, 10),
+    instructions_per_warp=st.integers(20, 350),
+    instructions_per_load=st.integers(1, 8),
+    dep_distance=st.integers(0, 6),
+    intra_warp_fraction=st.sampled_from([0.0, 0.2, 0.5, 0.8]),
+    inter_warp_fraction=st.sampled_from([0.0, 0.1, 0.2]),
+    private_lines=st.integers(1, 64),
+    shared_lines=st.integers(1, 96),
+    seed=st.integers(0, 10_000),
+)
+
+small_archs = st.builds(
+    lambda l1_lines, assoc, mshr, indexing: GPUConfig(
+        sm=SMConfig(max_warps=12),
+        l1=CacheConfig(
+            size_bytes=l1_lines * assoc * 128,
+            assoc=assoc,
+            line_size=128,
+            mshr_entries=mshr,
+            indexing=indexing,
+        ),
+        memory=MemoryConfig(
+            l2=CacheConfig(size_bytes=64 * 128, assoc=4, line_size=128, mshr_entries=8),
+            l2_latency=20,
+            l2_service_interval=2.0,
+            dram_latency=60,
+            dram_service_interval=8.0,
+        ),
+        max_cycles=30_000,
+    ),
+    l1_lines=st.integers(2, 8),  # sets per way
+    assoc=st.sampled_from([1, 2, 4]),
+    mshr=st.integers(1, 6),
+    indexing=st.sampled_from(["hash", "linear"]),
+)

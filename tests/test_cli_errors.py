@@ -126,7 +126,7 @@ def test_report_with_missing_points(sweep_cache, capsys):
     assert code == 0
     code, captured = run_cli(capsys, "sweep", "report", "smoke", "--fast")
     assert code == 2
-    assert "missing 2 of 4 point artifacts" in captured.err
+    assert "missing 4 of 8 point artifacts" in captured.err
     # The remediation hint is runnable as-is: same grid, same label.
     assert "repro sweep run smoke --fast" in captured.err
 
@@ -161,7 +161,7 @@ def test_successful_shard_then_report_round_trip(sweep_cache, capsys):
     assert run_cli(capsys, "sweep", "run", "smoke", "--fast", "--shard", "2/2")[0] == 0
     code, captured = run_cli(capsys, "sweep", "report", "smoke", "--fast")
     assert code == 0
-    assert "4 points aggregated" in captured.out
+    assert "8 points aggregated" in captured.out
     sweep_json = sweep_cache / "artifacts" / "sweeps" / "smoke" / "fast" / "sweep.json"
     assert sweep_json.exists()
 
@@ -171,3 +171,15 @@ def test_unknown_experiment_id_still_clean(sweep_cache, capsys):
     code, captured = run_cli(capsys, "run", "fig99", "--fast")
     assert code == 2
     assert "unknown experiment" in captured.err
+
+
+def test_unknown_ambient_engine_fails_fast(sweep_cache, capsys, monkeypatch):
+    """A bad REPRO_ENGINE must exit 2 up front with the valid names — not
+    surface as a ValueError traceback deep inside build_sm mid-run."""
+    monkeypatch.setenv("REPRO_ENGINE", "turbo")
+    code, captured = run_cli(capsys, "run", "fig07", "--fast")
+    assert code == 2
+    assert "REPRO_ENGINE" in captured.err
+    assert "unknown simulator engine 'turbo'" in captured.err
+    for engine in ("fast", "legacy", "event"):
+        assert engine in captured.err

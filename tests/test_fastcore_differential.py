@@ -1,22 +1,29 @@
-"""Differential verification of the struct-of-arrays fast core.
+"""Differential verification of every optimised engine against the oracle.
 
-The fast engine (`repro.gpu.fastcore`) must be *bit-identical* to the legacy
-oracle (`repro.gpu.sm`) — every counter, the cycle count, the final warp
-tuple and the completion flag — on any kernel under any scheme.  These tests
-drive both engines through the same scenarios and assert exact equality:
+Built on :mod:`engine_conformance`: each scenario below runs the ``legacy``
+oracle once and then *every* other engine registered in
+``repro.gpu.engine.ENGINES`` — currently the struct-of-arrays ``fast`` core
+and the event-skipping ``event`` core — asserting bit-identical counters,
+cycles, warp tuple, completion flag and telemetry.  A newly registered
+engine is covered by this entire file with zero new test code.
+
+Scenario coverage:
 
 * random synthetic kernels under all five evaluation schemes
   (gto/swl/pcal/poise/static_best) plus CCWS and the APCM cache policy,
 * random architecture variations (L1 geometry, hash vs linear indexing,
-  MSHR pressure small enough to exercise the structural-hazard retry path),
+  MSHR pressure small enough to exercise the structural-hazard retry path
+  — the spans the event engine jumps over),
 * the five trace-native families,
 * adversarial controller scripts: random interleavings of warp-tuple
   changes, run windows and counter snapshots (the access pattern of the
   PCAL/Poise sampling loops),
-* degenerate shapes (empty warp programs, single-warp kernels).
+* degenerate shapes (empty warp programs, single-warp kernels),
+* the event engine's skip-span accounting invariant: jumped plus ticked
+  cycles exactly reconstruct the oracle's cycle count.
 
-Any divergence found here is a fast-core bug by definition: the legacy core
-is the specification.
+Any divergence found here is a bug in the optimised engine by definition:
+the legacy core is the specification.
 """
 
 from __future__ import annotations
@@ -27,146 +34,42 @@ from typing import List, Tuple
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.inference import PoiseParameters
-from repro.core.poise import PoiseController
-from repro.core.training import TrainedModel
-from repro.gpu.config import CacheConfig, GPUConfig, MemoryConfig, SMConfig, baseline_config
+from engine_conformance import (
+    CANDIDATE_ENGINES,
+    ORACLE,
+    SCHEMES,
+    assert_conformance,
+    drive_windowed,
+    kernel_specs,
+    make_controller,
+    small_archs,
+)
+from repro.gpu.config import (
+    CacheConfig,
+    GPUConfig,
+    MemoryConfig,
+    SMConfig,
+    baseline_config,
+)
+from repro.gpu.engine import ENGINE_EVENT
 from repro.gpu.gpu import GPU
 from repro.gpu.isa import alu, load
 from repro.runtime import serialization
-from repro.schedulers import (
-    APCMPolicy,
-    CCWSController,
-    GTOController,
-    PCALController,
-    StaticBestController,
-    SWLController,
-)
-from repro.schedulers.pcal import PCALParameters
+from repro.schedulers import APCMPolicy, CCWSController, GTOController
 from repro.trace.families import family_kernel, family_names
 from repro.workloads.generator import generate_kernel_programs
 from repro.workloads.spec import KernelSpec
 
-SCHEMES = ("gto", "swl", "pcal", "poise", "static_best")
 
+def test_harness_covers_all_registered_engines() -> None:
+    """The conformance harness must track the registry: every engine except
+    the oracle is a candidate, and there are at least two candidates (fast
+    and event) — a registry edit can't silently shrink coverage."""
+    from repro.gpu.engine import ENGINES
 
-def fixed_model() -> TrainedModel:
-    """Fixed-weight Poise model, as in the golden-counter suite."""
-    return TrainedModel(
-        alpha_weights=[0.02, -0.03, 0.05, 0.01, -0.02, 0.04, 0.60, 0.30],
-        beta_weights=[0.01, -0.02, 0.03, 0.02, -0.01, 0.02, 0.30, 0.15],
-        max_warps=24,
-        dispersion_n=0.1,
-        dispersion_p=0.1,
-        num_training_kernels=0,
-    )
-
-
-def make_controller(scheme: str, seed: int):
-    """A deterministic controller for ``scheme`` that needs no profile."""
-    if scheme == "gto":
-        return GTOController()
-    if scheme == "swl":
-        return SWLController(limit=1 + seed % 8)
-    if scheme == "pcal":
-        return PCALController(
-            swl_limit=1 + seed % 8,
-            params=PCALParameters(warmup_cycles=300, sample_cycles=700, max_hill_steps=3),
-        )
-    if scheme == "static_best":
-        return StaticBestController(best_tuple=(1 + seed % 12, 1 + seed % 4))
-    if scheme == "poise":
-        return PoiseController(
-            fixed_model(),
-            PoiseParameters(
-                t_period=6_000, t_warmup=400, t_feature=900, t_search=500,
-                threshold_cycles=800,
-            ),
-        )
-    raise ValueError(scheme)
-
-
-def run_snapshot(engine: str, config: GPUConfig, programs, controller=None,
-                 cache_policy=None, max_cycles: int = 20_000) -> dict:
-    result = GPU(config).run_kernel(
-        [list(program) for program in programs],
-        controller=controller,
-        cache_policy=cache_policy,
-        max_cycles=max_cycles,
-        engine=engine,
-    )
-    return {
-        "counters": serialization.counters_to_dict(result.counters),
-        "cycles": result.cycles,
-        "warp_tuple": result.warp_tuple,
-        "completed": result.completed,
-        "telemetry": serialization.encode_value(result.telemetry),
-    }
-
-
-def assert_engines_agree(config: GPUConfig, programs, controller_factory=None,
-                         cache_policy_factory=None, max_cycles: int = 20_000) -> None:
-    legacy = run_snapshot(
-        "legacy", config, programs,
-        controller=controller_factory() if controller_factory else None,
-        cache_policy=cache_policy_factory() if cache_policy_factory else None,
-        max_cycles=max_cycles,
-    )
-    fast = run_snapshot(
-        "fast", config, programs,
-        controller=controller_factory() if controller_factory else None,
-        cache_policy=cache_policy_factory() if cache_policy_factory else None,
-        max_cycles=max_cycles,
-    )
-    for counter, value in legacy["counters"].items():
-        assert fast["counters"][counter] == value, (
-            f"counter {counter!r} drifted: legacy={value} fast={fast['counters'][counter]}"
-        )
-    assert fast == legacy
-
-
-# ---------------------------------------------------------------------------
-# Strategies
-# ---------------------------------------------------------------------------
-
-kernel_specs = st.builds(
-    KernelSpec,
-    name=st.just("diff_kernel"),
-    num_warps=st.integers(1, 10),
-    instructions_per_warp=st.integers(20, 350),
-    instructions_per_load=st.integers(1, 8),
-    dep_distance=st.integers(0, 6),
-    intra_warp_fraction=st.sampled_from([0.0, 0.2, 0.5, 0.8]),
-    inter_warp_fraction=st.sampled_from([0.0, 0.1, 0.2]),
-    private_lines=st.integers(1, 64),
-    shared_lines=st.integers(1, 96),
-    seed=st.integers(0, 10_000),
-)
-
-small_archs = st.builds(
-    lambda l1_lines, assoc, mshr, indexing: GPUConfig(
-        sm=SMConfig(max_warps=12),
-        l1=CacheConfig(
-            size_bytes=l1_lines * assoc * 128,
-            assoc=assoc,
-            line_size=128,
-            mshr_entries=mshr,
-            indexing=indexing,
-        ),
-        memory=MemoryConfig(
-            l2=CacheConfig(size_bytes=64 * 128, assoc=4, line_size=128, mshr_entries=8),
-            l2_latency=20,
-            l2_service_interval=2.0,
-            dram_latency=60,
-            dram_service_interval=8.0,
-        ),
-        max_cycles=30_000,
-    ),
-    l1_lines=st.integers(2, 8),  # sets per way
-    assoc=st.sampled_from([1, 2, 4]),
-    mshr=st.integers(1, 6),
-    indexing=st.sampled_from(["hash", "linear"]),
-)
+    assert ORACLE in ENGINES
+    assert set(CANDIDATE_ENGINES) == set(ENGINES) - {ORACLE}
+    assert {"fast", "event"} <= set(CANDIDATE_ENGINES)
 
 
 # ---------------------------------------------------------------------------
@@ -177,10 +80,10 @@ small_archs = st.builds(
 @settings(max_examples=20, deadline=None)
 @given(spec=kernel_specs, scheme=st.sampled_from(SCHEMES))
 def test_scheme_differential(spec: KernelSpec, scheme: str) -> None:
-    """Both engines agree under every evaluation scheme on random kernels."""
+    """All engines agree under every evaluation scheme on random kernels."""
     programs = generate_kernel_programs(spec)
     config = baseline_config(max_cycles=30_000)
-    assert_engines_agree(
+    assert_conformance(
         config, programs,
         controller_factory=lambda: make_controller(scheme, spec.seed),
         max_cycles=16_000,
@@ -191,18 +94,18 @@ def test_scheme_differential(spec: KernelSpec, scheme: str) -> None:
 @given(spec=kernel_specs, config=small_archs)
 def test_architecture_differential(spec: KernelSpec, config: GPUConfig) -> None:
     """Random L1 geometries, linear indexing and MSHR starvation (the
-    structural-hazard retry path) stay bit-identical."""
+    structural-hazard retry path) stay bit-identical on every engine."""
     programs = generate_kernel_programs(spec)
-    assert_engines_agree(config, programs, max_cycles=12_000)
+    assert_conformance(config, programs, max_cycles=12_000)
 
 
 @settings(max_examples=10, deadline=None)
 @given(spec=kernel_specs)
 def test_apcm_cache_policy_differential(spec: KernelSpec) -> None:
-    """The per-PC allocate/observe hooks fire identically in both engines."""
+    """The per-PC allocate/observe hooks fire identically in every engine."""
     programs = generate_kernel_programs(spec)
     config = baseline_config(max_cycles=30_000)
-    assert_engines_agree(
+    assert_conformance(
         config, programs,
         controller_factory=GTOController,
         cache_policy_factory=APCMPolicy,
@@ -215,7 +118,7 @@ def test_apcm_cache_policy_differential(spec: KernelSpec) -> None:
 def test_ccws_differential(spec: KernelSpec) -> None:
     programs = generate_kernel_programs(spec)
     config = baseline_config(max_cycles=30_000)
-    assert_engines_agree(
+    assert_conformance(
         config, programs, controller_factory=CCWSController, max_cycles=16_000
     )
 
@@ -233,7 +136,7 @@ def test_trace_family_differential(family: str, scheme: str) -> None:
     )
     programs = generate_kernel_programs(spec)
     config = baseline_config(max_cycles=30_000)
-    assert_engines_agree(
+    assert_conformance(
         config, programs,
         controller_factory=lambda: make_controller(scheme, 5),
         max_cycles=16_000,
@@ -248,7 +151,7 @@ def test_trace_family_all_schemes(scheme: str) -> None:
     )
     programs = generate_kernel_programs(spec)
     config = baseline_config(max_cycles=30_000)
-    assert_engines_agree(
+    assert_conformance(
         config, programs,
         controller_factory=lambda: make_controller(scheme, 9),
         max_cycles=16_000,
@@ -273,25 +176,16 @@ def test_windowed_control_differential(
     spec: KernelSpec, script: List[Tuple[int, int, int]]
 ) -> None:
     """Random interleavings of set_warp_tuple / run_cycles / snapshot must
-    produce identical per-window counter deltas on both engines."""
+    produce identical per-window counter deltas on every engine.  For the
+    event engine this is the sharpest invariant: a jump may never cross a
+    ``run_cycles`` window boundary, or the per-window deltas would smear."""
     config = baseline_config(max_cycles=60_000)
     programs = generate_kernel_programs(spec)
-
-    def drive(engine: str) -> list:
-        sm = GPU(config).build_sm([list(p) for p in programs], engine=engine)
-        trail = []
-        for n, p, window in script:
-            sm.set_warp_tuple(n, p)
-            before = sm.snapshot()
-            consumed = sm.run_cycles(window)
-            trail.append(
-                (consumed, serialization.counters_to_dict(sm.counters - before))
-            )
-        sm.run_to_completion(50_000)
-        trail.append((sm.cycle, sm.done, serialization.counters_to_dict(sm.counters)))
-        return trail
-
-    assert drive("fast") == drive("legacy")
+    oracle_trail = drive_windowed(ORACLE, config, programs, script)
+    for engine in CANDIDATE_ENGINES:
+        assert drive_windowed(engine, config, programs, script) == oracle_trail, (
+            f"engine {engine!r} window trail drifted from {ORACLE}"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -310,7 +204,7 @@ def test_empty_and_mixed_programs_differential() -> None:
         [alu(pc=i) for i in range(5)],
     ]
     config = baseline_config(max_cycles=10_000)
-    assert_engines_agree(config, programs, max_cycles=10_000)
+    assert_conformance(config, programs, max_cycles=10_000)
 
 
 def test_single_warp_mshr_merge_differential() -> None:
@@ -320,7 +214,7 @@ def test_single_warp_mshr_merge_differential() -> None:
         [load(99, dep_distance=3, pc=0), alu(pc=1)],
     ]
     config = baseline_config(max_cycles=10_000)
-    assert_engines_agree(config, programs, max_cycles=10_000)
+    assert_conformance(config, programs, max_cycles=10_000)
 
 
 def test_single_set_hash_cache_differential() -> None:
@@ -348,11 +242,12 @@ def test_single_set_hash_cache_differential() -> None:
         [load(base + index, dep_distance=1, pc=index) for index in range(40)]
         for base in (0, 1 << 20)
     ]
-    assert_engines_agree(config, programs, max_cycles=10_000)
+    assert_conformance(config, programs, max_cycles=10_000)
 
 
-def test_reuse_tracker_differential() -> None:
-    """With ``track_reuse_distance`` on (the Fig. 4 path), both engines feed
+@pytest.mark.parametrize("engine", CANDIDATE_ENGINES)
+def test_reuse_tracker_differential(engine: str) -> None:
+    """With ``track_reuse_distance`` on (the Fig. 4 path), every engine feeds
     the tracker the identical access stream."""
     spec = KernelSpec(
         name="reuse_diff", num_warps=6, instructions_per_warp=300,
@@ -362,8 +257,8 @@ def test_reuse_tracker_differential() -> None:
     config = replace(baseline_config(max_cycles=20_000), track_reuse_distance=True)
     programs = generate_kernel_programs(spec)
 
-    def stats(engine: str):
-        sm = GPU(config).build_sm([list(p) for p in programs], engine=engine)
+    def stats(name: str):
+        sm = GPU(config).build_sm([list(p) for p in programs], engine=name)
         sm.run_to_completion(20_000)
         tracker = sm.reuse_tracker
         return (
@@ -373,7 +268,7 @@ def test_reuse_tracker_differential() -> None:
             serialization.counters_to_dict(sm.counters),
         )
 
-    assert stats("fast") == stats("legacy")
+    assert stats(engine) == stats(ORACLE)
 
 
 def test_engine_selection_rejects_unknown_names() -> None:
@@ -383,3 +278,69 @@ def test_engine_selection_rejects_unknown_names() -> None:
         resolve_engine("warp-speed")
     assert resolve_engine("FAST") == "fast"
     assert resolve_engine(" legacy ") == "legacy"
+    assert resolve_engine(" Event ") == "event"
+
+
+# ---------------------------------------------------------------------------
+# Event-engine skip-span accounting
+# ---------------------------------------------------------------------------
+
+
+def _event_accounting(config: GPUConfig, programs, max_cycles: int) -> None:
+    """Shared body: run the event engine, check its span ledger closes, and
+    check its stall counters equal the oracle's tick-by-tick tally."""
+    oracle_sm = GPU(config).build_sm([list(p) for p in programs], engine=ORACLE)
+    oracle_sm.run_to_completion(max_cycles)
+    event_sm = GPU(config).build_sm([list(p) for p in programs], engine=ENGINE_EVENT)
+    event_sm.run_to_completion(max_cycles)
+
+    # Every simulated cycle is accounted for exactly once: either advanced
+    # in a multi-cycle jump over a dead span, or ticked through an issue.
+    assert (
+        event_sm.jumped_cycles + event_sm.ticked_cycles == event_sm.counters.cycles
+    ), (
+        f"span ledger leaks cycles: jumped={event_sm.jumped_cycles} "
+        f"ticked={event_sm.ticked_cycles} total={event_sm.counters.cycles}"
+    )
+    assert event_sm.jump_spans <= event_sm.jumped_cycles
+
+    # The jumps credit skipped cycles exactly as the oracle ticks them.
+    assert event_sm.counters.cycles == oracle_sm.counters.cycles
+    assert event_sm.counters.stall_cycles == oracle_sm.counters.stall_cycles
+    assert event_sm.counters.mshr_stall_cycles == oracle_sm.counters.mshr_stall_cycles
+    assert event_sm.counters.busy_cycles == oracle_sm.counters.busy_cycles
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=kernel_specs)
+def test_event_skip_span_accounting(spec: KernelSpec) -> None:
+    """For random kernels: jumped spans + ticked cycles == the oracle's total
+    cycle count, and the stalled-cycle counters match the oracle exactly."""
+    programs = generate_kernel_programs(spec)
+    _event_accounting(baseline_config(max_cycles=30_000), programs, 16_000)
+
+
+@settings(max_examples=15, deadline=None)
+@given(spec=kernel_specs, config=small_archs)
+def test_event_skip_span_accounting_mshr_starved(
+    spec: KernelSpec, config: GPUConfig
+) -> None:
+    """Same ledger under MSHR-starved architectures, where the dominant spans
+    are structural-hazard retries (the multi-cycle MSHR-full jumps)."""
+    programs = generate_kernel_programs(spec)
+    _event_accounting(config, programs, 12_000)
+
+
+def test_event_engine_actually_jumps() -> None:
+    """Guard against the accounting trivially passing because the event
+    engine never skips: on a load-heavy kernel it must take multi-cycle
+    jumps (jumped_cycles strictly greater than jump_spans)."""
+    programs = [
+        [load((1 << 30) + 64 * warp + i, dep_distance=1, pc=i) for i in range(64)]
+        for warp in range(4)
+    ]
+    config = baseline_config(max_cycles=40_000)
+    sm = GPU(config).build_sm([list(p) for p in programs], engine=ENGINE_EVENT)
+    sm.run_to_completion(40_000)
+    assert sm.jump_spans > 0
+    assert sm.jumped_cycles > sm.jump_spans

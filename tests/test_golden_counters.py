@@ -9,12 +9,14 @@ must replay exactly — any drift (a changed int anywhere) fails the suite.
 The Poise run uses a hand-written model with fixed weights, so the golden
 run depends on no training pipeline and is deterministic by construction.
 
-Beyond the default-configuration section, the fixture carries an
-``extended`` section pinning engine parity away from the baseline: a
-trace-family kernel (structured address stream the synthetic generator
-cannot express) and a non-default architecture point (4 KB L1, 48-warp
-scheduler, 32-warp kernel), each replayed under **both** simulator engines
-against the same golden counters.
+The fixture is engine-independent: both its base section and its
+``extended`` section (a trace-family kernel whose structured address
+stream the synthetic generator cannot express, plus a non-default
+architecture point — 4 KB L1, 48-warp scheduler, 32-warp kernel) are
+replayed under **every** engine registered in ``ENGINES`` against the same
+golden counters.  A new engine must therefore reproduce the committed
+fixture byte for byte *without regenerating it* — regeneration would mask
+exactly the drift these tests exist to catch.
 
 To regenerate the fixture after an *intentional* behaviour change::
 
@@ -165,6 +167,22 @@ def test_counters_replay_bit_identical(golden_replay, scheme):
     for name, value in expected["counters"].items():
         assert actual["counters"][name] == value, f"{scheme}: counter {name!r} drifted"
     assert set(actual["counters"]) == set(expected["counters"])
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_base_counters_replay_under_every_engine(engine, tmp_path):
+    """The base golden section replays byte-identically under every
+    registered engine, against the committed fixture as-is.  This is the
+    strongest form of the engine-parity guarantee: ``legacy``, ``fast`` and
+    ``event`` all serialize to the very bytes already on disk."""
+    fixture = json.loads(FIXTURE_PATH.read_text())
+    config = golden_config(tmp_path / "cache")
+    with pinned_engine(engine):
+        replayed = _replay_schemes(GOLDEN_KERNEL, config, GOLDEN_SCHEMES)
+    expected = {scheme: fixture["schemes"][scheme] for scheme in GOLDEN_SCHEMES}
+    assert json.dumps(replayed, sort_keys=True) == json.dumps(expected, sort_keys=True), (
+        f"base golden section drifted under engine {engine!r}"
+    )
 
 
 def test_schemes_actually_diverge(golden_replay):

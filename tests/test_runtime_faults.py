@@ -366,7 +366,7 @@ def test_chaos_sweep_is_byte_identical_to_fault_free_run(tmp_path, monkeypatch):
     clean_payload = aggregate(grid, clean.config)
     clean_sweep = write_sweep_artifact(clean_payload, tmp_path / "clean")
 
-    # seed=0 over the 4 smoke points: crash targets point 0, oserror point 1
+    # seed=0 over the 8 smoke points: crash targets point 0, oserror point 1
     # (distinct, so both fire); one torn write and two cache faults on top.
     monkeypatch.setenv(
         "REPRO_FAULTS",

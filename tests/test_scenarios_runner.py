@@ -297,7 +297,7 @@ def test_named_grids_are_valid_and_unique():
     for name, grid in grids.items():
         assert grid.name == name
         assert grid.size == len(grid.points())
-    assert grids["smoke"].size == 4  # the CI shard-check grid stays tiny
+    assert grids["smoke"].size == 8  # the CI shard-check grid stays tiny
 
 
 def test_get_grid_unknown_name():
@@ -348,21 +348,28 @@ def test_real_parallel_jobs_match_serial_bytes(tmp_path, monkeypatch):
 
 def test_engine_axis_points_have_identical_metrics(tmp_path):
     """The engine-parity grid's reason to exist: the same scenario pinned to
-    each engine must produce identical metrics (caches are bypassed)."""
+    each registered engine must produce identical metrics (caches are
+    bypassed).  Enumerating ``ENGINES`` means a new engine is covered here
+    the moment it is registered."""
+    from repro.gpu.engine import ENGINES
+
     grid = ScenarioGrid(
-        "parity", {"engine": ["fast", "legacy"], "scheme": ["ccws"], "benchmark": ["mvt"]}
+        "parity", {"engine": list(ENGINES), "scheme": ["ccws"], "benchmark": ["mvt"]}
     )
     config = tiny_config(tmp_path)
-    fast_point, legacy_point = grid.points()
-    assert (fast_point.engine, legacy_point.engine) == ("fast", "legacy")
-    assert evaluate_point(fast_point, config) == evaluate_point(legacy_point, config)
+    points = grid.points()
+    assert tuple(point.engine for point in points) == ENGINES
+    metrics = [evaluate_point(point, config) for point in points]
+    for point, point_metrics in zip(points[1:], metrics[1:]):
+        assert point_metrics == metrics[0], f"engine {point.engine} diverged"
 
 
 def test_engine_axis_bypasses_profile_caches_too(tmp_path):
     """A profile-based scheme under a pinned engine must execute its
     profiling sweep on that engine: no result/profile cache entry is read
-    or written, and both engines still agree."""
+    or written, and every engine still agrees."""
     from repro.experiments import common as experiments_common
+    from repro.gpu.engine import ENGINES
 
     config = replace(
         tiny_config(tmp_path),
@@ -375,11 +382,13 @@ def test_engine_axis_bypasses_profile_caches_too(tmp_path):
     saved_profiles = dict(experiments_common._PROFILE_CACHE)
     experiments_common._PROFILE_CACHE.clear()
     try:
-        fast_point, legacy_point = ScenarioGrid(
+        points = ScenarioGrid(
             "parity-swl",
-            {"engine": ["fast", "legacy"], "scheme": ["swl"], "benchmark": ["mvt"]},
+            {"engine": list(ENGINES), "scheme": ["swl"], "benchmark": ["mvt"]},
         ).points()
-        assert evaluate_point(fast_point, config) == evaluate_point(legacy_point, config)
+        metrics = [evaluate_point(point, config) for point in points]
+        for point, point_metrics in zip(points[1:], metrics[1:]):
+            assert point_metrics == metrics[0], f"engine {point.engine} diverged"
         # Nothing leaked into the engine-agnostic caches.
         assert not (tmp_path / "runs").exists()
         assert not experiments_common._PROFILE_CACHE
