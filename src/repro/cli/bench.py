@@ -42,10 +42,13 @@ import datetime
 import json
 import sys
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.gpu.engine import resolve_engine
+from repro.obs.schema import BENCH_SCHEMA_VERSION, BenchSchemaError, validate_bench_entry
+from repro.obs.telemetry import telemetry_delta, telemetry_snapshot
 from repro.runtime.bench import (
     EVENT_GATE_KERNEL,
     EVENT_GATE_RATIO,
@@ -114,6 +117,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not engines:
         parser.error("--engines must name at least one engine")
 
+    # Bracket the whole measurement with the run-telemetry layer: the entry
+    # records what the bench run itself cost (cache behaviour, per-phase
+    # wall-clock, per-stage wall-clock).
+    telemetry_before = telemetry_snapshot()
+    stages: Dict[str, float] = {}
+    stage_start = time.perf_counter()
+
+    def stage_done(name: str) -> None:
+        nonlocal stage_start
+        now = time.perf_counter()
+        stages[name] = now - stage_start
+        stage_start = now
+
     throughput: Dict[str, dict] = {}
     stall_config = memory_stall_config(max_cycles=args.max_cycles)
     for engine in engines:
@@ -133,6 +149,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"({result['cycles']:,} cycles in {result['wall_seconds']:.3f}s)"
             )
         throughput[engine] = rows
+    stage_done("throughput")
 
     # Trace replay: decode a stencil-family trace file and simulate it — the
     # file-to-counters path the trace subsystem adds.
@@ -145,6 +162,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"({result['cycles']:,} cycles in {result['wall_seconds']:.3f}s, "
         f"decode {result['decode_seconds']:.3f}s)"
     )
+    stage_done("trace_replay")
 
     matrix: List[dict] = []
     if not args.skip_matrix:
@@ -157,6 +175,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"  {row['kernel']:<24} {row['scheme']:<12} [{row['engine']}] "
                 f"{row['cycles_per_second']:,.0f} cycles/s"
             )
+        stage_done("matrix")
 
     sweep: dict = {}
     if not args.skip_sweep:
@@ -170,16 +189,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"parallel({sweep['parallel_jobs']}) {sweep['parallel_seconds']:.2f}s, "
             f"identical counters: {sweep['parallel_matches_serial']}"
         )
+        stage_done("sweep")
 
+    telemetry = telemetry_delta(telemetry_before)
+    telemetry["stages"] = stages
     entry = {
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "version": __version__,
+        "bench_schema": BENCH_SCHEMA_VERSION,
         "jobs_env": resolve_jobs(),
         "environment": host_environment(),
+        "telemetry": telemetry,
         "throughput": throughput,
         "matrix": matrix,
         "sweep": sweep,
     }
+    # The append-time schema gate: shape drift stops at the writer, not in
+    # a future reader.  Historical entries are the loader's problem; a new
+    # entry that fails its own schema is never appended.
+    try:
+        validate_bench_entry(entry)
+    except BenchSchemaError as error:
+        print(
+            f"error: refusing to append a schema-invalid bench entry: {error}",
+            file=sys.stderr,
+        )
+        return 1
 
     trajectory = load_trajectory(args.output)
 

@@ -137,6 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="declarative scenario-grid sweeps (run|plan|report|list)",
         add_help=False,
     )
+    subparsers.add_parser(
+        "analyze",
+        help="longitudinal perf/regression observatory (trajectory|compare|regress|ci)",
+        add_help=False,
+    )
     return parser
 
 
@@ -216,6 +221,9 @@ def _cmd_run(ids: Sequence[str], args: argparse.Namespace) -> int:
             print(ExperimentResult.from_dict(payload).to_text())
             print()
 
+    from repro.obs.telemetry import describe_cache, describe_phases, telemetry_delta, telemetry_snapshot
+
+    telemetry_before = telemetry_snapshot()
     executor = SweepExecutor(jobs=args.jobs, timeout=args.timeout, retries=args.retries)
     job_args = [(experiment_id, label, cache_dir) for experiment_id in ordered]
     if executor.parallel and len(job_args) > 1:
@@ -228,6 +236,14 @@ def _cmd_run(ids: Sequence[str], args: argparse.Namespace) -> int:
     else:
         for experiment_id, job in zip(ordered, job_args):
             _finish(experiment_id, runner.run_experiment_job(*job))
+
+    # Run telemetry: per-process counters, so a parallel run reports the
+    # parent's share only (workers accumulate their own; the JobReport
+    # above is the cross-process accounting).
+    delta = telemetry_delta(telemetry_before)
+    print(f"cache: {describe_cache(delta['cache'])}")
+    if delta["phases"]:
+        print(f"phases: {describe_phases(delta['phases'])}")
 
     if schema_failures:
         print("\nartifact schema violations:", file=sys.stderr)
@@ -302,6 +318,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.cli.sweep import main as sweep_main
 
         return sweep_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        from repro.cli.analyze import main as analyze_main
+
+        return analyze_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)

@@ -24,6 +24,7 @@ from repro.core.training import TrainedModel, TrainingPipeline, TrainingThreshol
 from repro.core.features import FeatureSampler
 from repro.gpu.config import GPUConfig, baseline_config
 from repro.gpu.gpu import GPU, RunResult
+from repro.obs.telemetry import phase
 from repro.profiling.metrics import harmonic_mean
 from repro.profiling.profiler import KernelProfiler, StaticProfile
 from repro.runtime import serialization
@@ -312,7 +313,8 @@ def get_profile(
     the engine-agnostic caches.
     """
     if not use_cache:
-        return config.profiler().profile(spec)
+        with phase("profile"):
+            return config.profiler().profile(spec)
     key = (spec, config.cache_key)
     profile = _PROFILE_CACHE.get(key)
     if profile is not None:
@@ -327,7 +329,8 @@ def get_profile(
             except (KeyError, TypeError, ValueError):
                 profile = None  # malformed entry: fall through and recompute
     if profile is None:
-        profile = config.profiler().profile(spec)
+        with phase("profile"):
+            profile = config.profiler().profile(spec)
         if disk is not None:
             disk.store(payload, serialization.profile_to_dict(profile))
     _PROFILE_CACHE[key] = profile
@@ -347,7 +350,8 @@ def train_model(
         config.limited_benchmark(benchmark, training=True)
         for benchmark in training_benchmarks()
     ]
-    model, _ = pipeline.train(benchmarks)
+    with phase("train"):
+        model, _ = pipeline.train(benchmarks)
     return model
 
 
@@ -458,12 +462,13 @@ def run_scheme_on_kernel(
     )
     gpu = GPU(config.gpu)
     programs = generate_kernel_programs(spec)
-    result = gpu.run_kernel(
-        programs,
-        controller=controller,
-        max_cycles=config.run_max_cycles,
-        cache_policy=cache_policy,
-    )
+    with phase("simulate"):
+        result = gpu.run_kernel(
+            programs,
+            controller=controller,
+            max_cycles=config.run_max_cycles,
+            cache_policy=cache_policy,
+        )
     if use_cache:
         _RUN_CACHE[key] = result
         if disk is not None:

@@ -1,0 +1,41 @@
+"""Observability: run telemetry + longitudinal analysis over the artifacts.
+
+Two halves, consumed by ``repro analyze``:
+
+* :mod:`repro.obs.telemetry` — structured run-telemetry counters (cache
+  hit/miss/corrupt-fallback, per-phase wall-clock for profile/train/
+  simulate) threaded through the existing execution seams and emitted
+  into every bench entry and sweep telemetry sidecar.
+* :mod:`repro.obs.schema` / :mod:`repro.obs.trajectory` /
+  :mod:`repro.obs.regress` / :mod:`repro.obs.compare` — the analysis
+  layer: a versioned ``BenchRecordSchema`` with a tolerant loader for
+  every historical ``BENCH_throughput.json`` shape, per
+  kernel×scheme×engine throughput trajectories, statistical regression
+  detection with a CI-consumable ``verdict.json``, and cross-sweep
+  comparison of two sweep label trees.
+
+This ``__init__`` is deliberately lazy (PEP 562): :mod:`repro.obs.schema`
+imports :mod:`repro.runtime.bench`, which itself imports
+:mod:`repro.obs.telemetry` for the phase timers — an eager re-export here
+would turn that into a circular import.
+"""
+
+from __future__ import annotations
+
+_SUBMODULES = {
+    "compare": "repro.obs.compare",
+    "regress": "repro.obs.regress",
+    "schema": "repro.obs.schema",
+    "telemetry": "repro.obs.telemetry",
+    "trajectory": "repro.obs.trajectory",
+}
+
+__all__ = sorted(_SUBMODULES)
+
+
+def __getattr__(name: str):
+    if name in _SUBMODULES:
+        import importlib
+
+        return importlib.import_module(_SUBMODULES[name])
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,108 @@
+"""Cross-sweep comparison of two sweep label trees, point by point.
+
+Sweep point artifacts are content-stable (no timestamps, no host fields),
+so two trees of the same grid are directly comparable: match points by
+``point_id``, diff one metric, list everything that drifted beyond a
+relative tolerance.  The typical uses are label-vs-label (``fast`` vs
+``full``), tree-vs-tree (yesterday's cache dir vs today's) and
+before/after an engine or scheduler change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.scenarios.grid import ScenarioError
+from repro.scenarios.runner import points_dir
+
+COMPARISON_FORMAT_VERSION = 1
+
+DEFAULT_METRIC = "speedup"
+DEFAULT_TOLERANCE = 0.05
+
+
+class SweepCompareError(ScenarioError):
+    """A comparison side is missing, empty or unreadable."""
+
+
+def load_sweep_points(
+    cache_dir: Union[str, Path], grid_name: str, label: str
+) -> Dict[str, dict]:
+    """Every point artifact of one sweep tree, keyed by ``point_id``.
+
+    Raises :class:`SweepCompareError` on a missing/empty tree or a corrupt
+    artifact — a comparison must never silently paper over bad inputs
+    (same discipline as sweep aggregation).
+    """
+    directory = points_dir(cache_dir, grid_name, label)
+    if not directory.is_dir():
+        raise SweepCompareError(
+            f"no sweep artifacts under {directory} — "
+            f"run `repro sweep run {grid_name}` for that label first"
+        )
+    points: Dict[str, dict] = {}
+    for path in sorted(directory.glob("*.json")):
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            raise SweepCompareError(
+                f"point artifact {path} is unreadable ({error})"
+            ) from None
+        point_id = document.get("point_id") if isinstance(document, dict) else None
+        metrics = document.get("metrics") if isinstance(document, dict) else None
+        if not isinstance(point_id, str) or not isinstance(metrics, dict):
+            raise SweepCompareError(
+                f"point artifact {path} is not a well-formed sweep point"
+            )
+        points[point_id] = document
+    if not points:
+        raise SweepCompareError(f"no point artifacts under {directory}")
+    return points
+
+
+def compare_sweeps(
+    points_a: Dict[str, dict],
+    points_b: Dict[str, dict],
+    metric: str = DEFAULT_METRIC,
+    tolerance: float = DEFAULT_TOLERANCE,
+    label_a: str = "a",
+    label_b: str = "b",
+) -> dict:
+    """Diff ``metric`` across two point sets; flag relative drift > tolerance."""
+    ids_a, ids_b = set(points_a), set(points_b)
+    rows: List[dict] = []
+    skipped: List[str] = []
+    for point_id in sorted(ids_a & ids_b):
+        value_a = points_a[point_id].get("metrics", {}).get(metric)
+        value_b = points_b[point_id].get("metrics", {}).get(metric)
+        if not isinstance(value_a, (int, float)) or not isinstance(value_b, (int, float)):
+            skipped.append(point_id)
+            continue
+        delta = float(value_b) - float(value_a)
+        if value_a:
+            relative = delta / abs(float(value_a))
+        else:
+            relative = 0.0 if delta == 0.0 else float("inf")
+        rows.append({
+            "point_id": point_id,
+            label_a: float(value_a),
+            label_b: float(value_b),
+            "delta": delta,
+            "relative": relative,
+            "drifted": abs(relative) > tolerance,
+        })
+    return {
+        "format_version": COMPARISON_FORMAT_VERSION,
+        "kind": "sweep-comparison",
+        "metric": metric,
+        "tolerance": tolerance,
+        "labels": [label_a, label_b],
+        "common": len(rows) + len(skipped),
+        "only_a": sorted(ids_a - ids_b),
+        "only_b": sorted(ids_b - ids_a),
+        "skipped": skipped,  # common points lacking the metric on a side
+        "points": rows,
+        "drifted": [row["point_id"] for row in rows if row["drifted"]],
+    }

@@ -1,0 +1,221 @@
+"""Statistical regression detection over bracket trajectories.
+
+Per bracket (kernel × scheme × engine): the **baseline** is the median of
+all prior normalized values (host-speed normalized by each entry's own
+live-legacy anchor — see :mod:`repro.obs.trajectory`), the **latest** is
+the most recent normalized value, and the bracket *regresses* when
+``latest / baseline < 1 / threshold``.  The median baseline makes one
+historical outlier harmless; the ratio direction means only slowdowns
+fail (speedups just move the future baseline up).
+
+Fewer than ``min_history`` normalized points is ``insufficient-data`` —
+deliberately *not* a pass: a single-entry history proves nothing either
+way, and the verdict must say so rather than green-light it.
+
+The verdict document is machine-readable and CI-consumable::
+
+    {
+      "format_version": 1, "kind": "analyze-verdict",
+      "source": "...", "threshold": 1.6,
+      "status": "pass" | "regress" | "insufficient-data",
+      "counts": {"pass": N, "regress": N, "insufficient_data": N},
+      "brackets": [{"bracket": "kernel:scheme:engine", "status": ..., ...}]
+    }
+
+The overall status is ``regress`` if any bracket regressed, otherwise
+``insufficient-data`` only when *every* bracket is (a young history),
+otherwise ``pass``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+from typing import Dict, List, Mapping, Optional
+
+from repro.obs.schema import BenchSchemaError
+from repro.obs.trajectory import Trajectory
+
+VERDICT_FORMAT_VERSION = 1
+
+#: Default slowdown ratio that fails a bracket: the latest normalized value
+#: dropping below 1/1.6 ≈ 0.63x of the baseline median.  Wide enough that
+#: matrix-cell timer noise on small cycle budgets stays clear of it, tight
+#: enough that a genuine 2x slowdown (0.5x) always trips.
+DEFAULT_THRESHOLD = 1.6
+
+#: Minimum normalized points a bracket needs before it can pass or regress.
+DEFAULT_MIN_HISTORY = 2
+
+STATUS_PASS = "pass"
+STATUS_REGRESS = "regress"
+STATUS_INSUFFICIENT = "insufficient-data"
+
+
+@dataclass(frozen=True)
+class BracketVerdict:
+    """The regression judgement of one bracket's trajectory."""
+
+    bracket: str
+    kernel: str
+    scheme: str
+    engine: str
+    status: str
+    points: int  # normalized points considered
+    latest: Optional[float]
+    baseline: Optional[float]
+    ratio: Optional[float]
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "bracket": self.bracket,
+            "kernel": self.kernel,
+            "scheme": self.scheme,
+            "engine": self.engine,
+            "status": self.status,
+            "points": self.points,
+            "latest": self.latest,
+            "baseline": self.baseline,
+            "ratio": self.ratio,
+            "reason": self.reason,
+        }
+
+
+def judge_trajectory(
+    trajectory: Trajectory,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_history: int = DEFAULT_MIN_HISTORY,
+) -> BracketVerdict:
+    """Judge one bracket against its own normalized history."""
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1.0, got {threshold}")
+    values = trajectory.normalized_values
+    common = {
+        "bracket": trajectory.bracket,
+        "kernel": trajectory.kernel,
+        "scheme": trajectory.scheme,
+        "engine": trajectory.engine,
+        "points": len(values),
+    }
+    if len(values) < max(2, min_history):
+        return BracketVerdict(
+            status=STATUS_INSUFFICIENT,
+            latest=values[-1] if values else None,
+            baseline=None,
+            ratio=None,
+            reason=(
+                f"{len(values)} normalized point(s); "
+                f"need >= {max(2, min_history)} to judge"
+            ),
+            **common,
+        )
+    baseline = median(values[:-1])
+    latest = values[-1]
+    cutoff = 1.0 / threshold
+    ratio = latest / baseline if baseline > 0 else float("inf")
+    status = STATUS_REGRESS if ratio < cutoff else STATUS_PASS
+    return BracketVerdict(
+        status=status,
+        latest=latest,
+        baseline=baseline,
+        ratio=ratio,
+        reason=(
+            f"latest {latest:.3f} vs baseline median {baseline:.3f} "
+            f"-> {ratio:.3f}x (fails below {cutoff:.3f}x)"
+        ),
+        **common,
+    )
+
+
+def detect_regressions(
+    trajectories: Mapping[str, Trajectory],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_history: int = DEFAULT_MIN_HISTORY,
+) -> List[BracketVerdict]:
+    """Judge every bracket; order follows the trajectory mapping."""
+    return [
+        judge_trajectory(trajectory, threshold=threshold, min_history=min_history)
+        for trajectory in trajectories.values()
+    ]
+
+
+def build_verdict(
+    verdicts: List[BracketVerdict],
+    threshold: float = DEFAULT_THRESHOLD,
+    source: Optional[str] = None,
+) -> dict:
+    """Assemble the CI-consumable verdict document."""
+    counts: Dict[str, int] = {"pass": 0, "regress": 0, "insufficient_data": 0}
+    for verdict in verdicts:
+        counts[verdict.status.replace("-", "_")] += 1
+    if counts["regress"]:
+        status = STATUS_REGRESS
+    elif verdicts and counts["pass"] == 0:
+        status = STATUS_INSUFFICIENT
+    elif verdicts:
+        status = STATUS_PASS
+    else:
+        status = STATUS_INSUFFICIENT
+    return {
+        "format_version": VERDICT_FORMAT_VERSION,
+        "kind": "analyze-verdict",
+        "source": source,
+        "threshold": threshold,
+        "status": status,
+        "counts": counts,
+        "brackets": [verdict.to_dict() for verdict in verdicts],
+    }
+
+
+def validate_verdict(payload: object) -> None:
+    """Schema-check a verdict document (CI validates before consuming).
+
+    Raises :class:`~repro.obs.schema.BenchSchemaError` on the first
+    violation.
+    """
+
+    def require(condition: bool, message: str) -> None:
+        if not condition:
+            raise BenchSchemaError(f"verdict: {message}")
+
+    require(isinstance(payload, dict), "must be an object")
+    require(
+        payload.get("format_version") == VERDICT_FORMAT_VERSION,
+        f"format_version must be {VERDICT_FORMAT_VERSION}",
+    )
+    require(payload.get("kind") == "analyze-verdict", "kind must be 'analyze-verdict'")
+    require(
+        isinstance(payload.get("threshold"), (int, float))
+        and payload["threshold"] > 1.0,
+        "threshold must be a number > 1.0",
+    )
+    statuses = (STATUS_PASS, STATUS_REGRESS, STATUS_INSUFFICIENT)
+    require(payload.get("status") in statuses, f"status must be one of {statuses}")
+    counts = payload.get("counts")
+    require(isinstance(counts, dict), "counts must be an object")
+    for key in ("pass", "regress", "insufficient_data"):
+        require(
+            isinstance(counts.get(key), int) and counts[key] >= 0,
+            f"counts[{key!r}] must be a non-negative integer",
+        )
+    brackets = payload.get("brackets")
+    require(isinstance(brackets, list), "brackets must be a list")
+    require(
+        sum(counts[key] for key in ("pass", "regress", "insufficient_data"))
+        == len(brackets),
+        "counts must sum to the number of brackets",
+    )
+    for position, bracket in enumerate(brackets):
+        where = f"brackets[{position}]"
+        require(isinstance(bracket, dict), f"{where} must be an object")
+        for key in ("bracket", "kernel", "scheme", "engine", "reason"):
+            require(
+                isinstance(bracket.get(key), str) and bracket[key],
+                f"{where} needs a non-empty string {key!r}",
+            )
+        require(bracket.get("status") in statuses, f"{where} has an unknown status")
+        require(
+            isinstance(bracket.get("points"), int) and bracket["points"] >= 0,
+            f"{where} needs a non-negative integer 'points'",
+        )

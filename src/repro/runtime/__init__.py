@@ -8,7 +8,14 @@ recovery machinery — out of the simulator and the experiment logic.
 here) because it depends on the profiling layer.
 """
 
-from repro.runtime.cache import DiskCache, content_key, sweep_stale_tmps
+from repro.runtime.cache import (
+    CacheStats,
+    DiskCache,
+    cache_stats,
+    content_key,
+    reset_cache_stats,
+    sweep_stale_tmps,
+)
 from repro.runtime.executor import (
     JOBS_ENV,
     RETRIES_ENV,
@@ -27,8 +34,11 @@ from repro.runtime.faults import (
 )
 
 __all__ = [
+    "CacheStats",
     "DiskCache",
+    "cache_stats",
     "content_key",
+    "reset_cache_stats",
     "sweep_stale_tmps",
     "JOBS_ENV",
     "TIMEOUT_ENV",

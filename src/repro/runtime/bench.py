@@ -43,6 +43,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.gpu.config import GPUConfig, MemoryConfig, baseline_config
 from repro.gpu.engine import resolve_engine
 from repro.gpu.gpu import GPU
+from repro.obs.telemetry import phase
 from repro.profiling.profiler import KernelProfiler
 from repro.runtime.executor import SweepExecutor
 from repro.workloads.generator import generate_kernel_programs
@@ -258,12 +259,15 @@ def measure_throughput(
     gc.collect()
     gc.disable()
     try:
-        for _ in range(max(1, rounds)):
-            start = time.perf_counter()
-            result = gpu.run_kernel(programs, max_cycles=max_cycles)
-            round_elapsed = max(time.perf_counter() - start, 1e-9)
-            if elapsed is None or round_elapsed < elapsed:
-                elapsed = round_elapsed
+        # The phase timer brackets the whole rounds loop — never the timed
+        # region itself, whose cycles/s feed absolute-threshold gates.
+        with phase("simulate"):
+            for _ in range(max(1, rounds)):
+                start = time.perf_counter()
+                result = gpu.run_kernel(programs, max_cycles=max_cycles)
+                round_elapsed = max(time.perf_counter() - start, 1e-9)
+                if elapsed is None or round_elapsed < elapsed:
+                    elapsed = round_elapsed
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -430,16 +434,18 @@ def measure_matrix(
                 p_step=6,
                 engine="fast",
             )
-            profile = profiler.profile(spec)
+            with phase("profile"):
+                profile = profiler.profile(spec)
         for scheme in schemes:
             for engine in engines:
                 gpu = GPU(config, engine=engine)
                 controller = _matrix_controller(scheme, profile, model)
-                start = time.perf_counter()
-                result = gpu.run_kernel(
-                    programs, controller=controller, max_cycles=max_cycles
-                )
-                elapsed = max(time.perf_counter() - start, 1e-9)
+                with phase("simulate"):
+                    start = time.perf_counter()
+                    result = gpu.run_kernel(
+                        programs, controller=controller, max_cycles=max_cycles
+                    )
+                    elapsed = max(time.perf_counter() - start, 1e-9)
                 row = {
                     "kernel": spec.name,
                     "kind": entry["kind"],

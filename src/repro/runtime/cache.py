@@ -33,12 +33,76 @@ import itertools
 import json
 import os
 import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Set, Union
+from typing import Dict, Optional, Set, Union
 
 from repro.runtime.faults import maybe_raise
 
 _FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Per-process counters of every :class:`DiskCache` lookup and store.
+
+    ``corrupt`` counts lookups that found an entry but could not trust it
+    (truncated JSON, wrong format version, an injected ``cache.load``
+    fault) — each such lookup also counts as a miss, because the caller
+    recomputes.  ``store_failures`` counts best-effort stores that were
+    swallowed.  The counters are process-global (one simulator run touches
+    many cache directories) and per process: parallel workers accumulate
+    their own, which never reach the parent.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    stores: int = 0
+    store_failures: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "stores": self.stores,
+            "store_failures": self.store_failures,
+        }
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(**self.to_dict())
+
+    def delta(self, before: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            corrupt=self.corrupt - before.corrupt,
+            stores=self.stores - before.stores,
+            store_failures=self.store_failures - before.store_failures,
+        )
+
+
+#: The process-wide counters; read through :func:`cache_stats`.
+_CACHE_STATS = CacheStats()
+
+
+def cache_stats() -> CacheStats:
+    """The live process-wide cache counters (mutating object, not a copy)."""
+    return _CACHE_STATS
+
+
+def reset_cache_stats() -> None:
+    """Zero the process-wide cache counters (tests and fresh measurements)."""
+    _CACHE_STATS.hits = 0
+    _CACHE_STATS.misses = 0
+    _CACHE_STATS.corrupt = 0
+    _CACHE_STATS.stores = 0
+    _CACHE_STATS.store_failures = 0
 
 #: Temp files untouched for this long are considered orphaned by a dead
 #: writer (a live atomic write lasts milliseconds).
@@ -139,24 +203,32 @@ class DiskCache:
             document = json.loads(path.read_text())
             if document.get("format_version") != _FORMAT_VERSION:
                 raise ValueError("unsupported cache format")
-            return document["result"]
+            result = document["result"]
         except FileNotFoundError:
+            _CACHE_STATS.misses += 1
             return None
         except (OSError, ValueError, KeyError, TypeError):
+            _CACHE_STATS.corrupt += 1
+            _CACHE_STATS.misses += 1
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
+        _CACHE_STATS.hits += 1
+        return result
 
     def store(self, payload: dict, result: dict) -> Optional[Path]:
         """Atomically write ``result`` for ``payload``; best-effort on errors."""
         document = {"format_version": _FORMAT_VERSION, "result": result}
         try:
             maybe_raise("cache.store")
-            return atomic_write_json(self.path_for(payload), document)
+            path = atomic_write_json(self.path_for(payload), document)
         except (OSError, TypeError, ValueError):
+            _CACHE_STATS.store_failures += 1
             return None  # caching is best-effort, never fatal
+        _CACHE_STATS.stores += 1
+        return path
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""

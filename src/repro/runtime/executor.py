@@ -48,7 +48,7 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.runtime import faults
@@ -192,6 +192,10 @@ class JobReport:
             pool_restarts=pool_restarts,
             injected=sum(record.injected is not None for record in records),
         )
+
+    def to_dict(self) -> Dict[str, int]:
+        """The plain-dict form telemetry sidecars and bench entries embed."""
+        return asdict(self)
 
     @property
     def clean(self) -> bool:

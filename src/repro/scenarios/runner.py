@@ -41,6 +41,13 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.gpu.engine import pinned_engine
+from repro.obs.telemetry import (
+    TELEMETRY_FORMAT_VERSION,
+    describe_cache,
+    describe_phases,
+    telemetry_delta,
+    telemetry_snapshot,
+)
 from repro.runtime import faults
 from repro.runtime.cache import atomic_write_json, sweep_stale_tmps
 from repro.runtime.executor import JobReport, SweepExecutor
@@ -173,6 +180,10 @@ class SweepRunReport:
     repaired_writes: int = 0
     stale_tmps_removed: int = 0
     job_report: Optional[JobReport] = None
+    #: Cache counters + phase wall-clock accumulated by this run (parent
+    #: process only — parallel workers keep their own; see the JobReport
+    #: for cross-process accounting).
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def computed(self) -> int:
@@ -204,6 +215,11 @@ class SweepRunReport:
         spec = faults.active_spec()
         if spec is not None:
             lines.append(f"faults injected: {spec.describe()}")
+        if self.telemetry is not None:
+            lines.append(f"cache: {describe_cache(self.telemetry.get('cache', {}))}")
+            phases = self.telemetry.get("phases") or {}
+            if phases:
+                lines.append(f"phases: {describe_phases(phases)}")
         return lines
 
 
@@ -348,6 +364,7 @@ class SweepRunner:
     ) -> SweepRunReport:
         """Like :meth:`run`, returning the full failure accounting."""
         points = self.grid.shard(*shard) if shard is not None else self.grid.points()
+        telemetry_before = telemetry_snapshot()
         report = SweepRunReport()
         report.stale_tmps_removed = sweep_stale_tmps(
             points_dir(self.cache_dir, self.grid.name, self.label)
@@ -385,7 +402,37 @@ class SweepRunner:
         if executor is not None:
             report.job_report = executor.last_report
         report.statuses = [statuses[point] for point in points]
+        report.telemetry = telemetry_delta(telemetry_before)
+        self._write_telemetry(report)
         return report
+
+    def _write_telemetry(self, report: SweepRunReport) -> Optional[Path]:
+        """Best-effort run-telemetry sidecar at the sweep root.
+
+        Deliberately *outside* ``points/`` and ``sweep.json``: those are
+        content-stable and byte-compared across shards and chaos runs,
+        while telemetry is per-run wall-clock by nature.  A failed write
+        never fails the sweep.
+        """
+        payload = {
+            "format_version": TELEMETRY_FORMAT_VERSION,
+            "kind": "sweep-run-telemetry",
+            "grid": self.grid.name,
+            "label": self.label,
+            "computed": report.computed,
+            "skipped": report.skipped,
+            "quarantined": len(report.quarantined),
+            "repaired_writes": report.repaired_writes,
+            "stale_tmps_removed": report.stale_tmps_removed,
+            "job_report": (
+                report.job_report.to_dict() if report.job_report is not None else None
+            ),
+            "telemetry": report.telemetry,
+        }
+        try:
+            return _write_json(self.root / "run_telemetry.json", payload)
+        except OSError:
+            return None
 
     def _write_point(
         self,
