@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""CI smoke for ``repro serve``: chaos, dedup, drain, restart, differential.
+
+The scripted scenario (exit 0 = every guarantee held):
+
+1. a **reference** sweep runs directly (``repro sweep run`` + ``report``)
+   into its own cache;
+2. the daemon starts against a second cache with a one-shot
+   ``serve.worker:crash`` chaos budget;
+3. the same sweep is submitted **twice** — the second submission must
+   deduplicate onto the first job;
+4. the job completes despite the injected worker crash (lost -> requeued
+   -> rerun by a restarted worker);
+5. ``SIGTERM`` drains the daemon, which must exit 0;
+6. a **restarted** daemon recovers the journal and still serves the
+   completed job's result;
+7. the served artifact tree is compared **byte for byte** against the
+   reference run (``diff -r`` on ``points/`` + ``cmp`` on ``sweep.json``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import ServeClient  # noqa: E402
+
+SWEEP_REQUEST = {
+    "kind": "sweep",
+    "grid": "smoke",
+    "preset": "fast",
+    "overrides": ["engine=fast"],
+}
+GRID_DIR = "smoke@*"  # override grids get a digest-derived name
+
+
+def log(message: str) -> None:
+    print(f"serve-smoke: {message}", flush=True)
+
+
+def env_for(cache_dir: Path, faults: str | None = None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env.pop("REPRO_FAULTS", None)
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    return env
+
+
+def run_cli(cache_dir: Path, *args: str) -> None:
+    command = [sys.executable, "-m", "repro", *args]
+    completed = subprocess.run(
+        command, env=env_for(cache_dir), capture_output=True, text=True, timeout=900
+    )
+    if completed.returncode != 0:
+        sys.exit(
+            f"serve-smoke: {' '.join(command)} failed "
+            f"({completed.returncode}):\n{completed.stdout}{completed.stderr}"
+        )
+
+
+def start_daemon(cache_dir: Path, faults: str | None = None):
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "start",
+            "--workers", "1", "--job-timeout", "120", "--drain-grace", "10",
+        ],
+        env=env_for(cache_dir, faults=faults),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    endpoint = cache_dir / "serve" / "endpoint.json"
+    deadline = time.monotonic() + 90.0
+    while time.monotonic() < deadline:
+        if endpoint.exists():
+            try:
+                document = json.loads(endpoint.read_text())
+                if document.get("pid") == process.pid:
+                    return process, ServeClient(document["url"], timeout=15.0)
+            except (ValueError, KeyError):
+                pass
+        if process.poll() is not None:
+            sys.exit(f"serve-smoke: daemon exited early:\n{process.stdout.read()}")
+        time.sleep(0.1)
+    process.kill()
+    sys.exit("serve-smoke: daemon never published endpoint.json")
+
+
+def drain(process) -> None:
+    process.send_signal(signal.SIGTERM)
+    code = process.wait(60)
+    if code != 0:
+        sys.exit(f"serve-smoke: SIGTERM drain exited {code}, expected 0")
+
+
+def grid_root(cache_dir: Path) -> Path:
+    matches = sorted((cache_dir / "artifacts" / "sweeps").glob(GRID_DIR))
+    if len(matches) != 1:
+        sys.exit(f"serve-smoke: expected one override grid dir, found {matches}")
+    return matches[0] / "fast"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a fresh tempdir)")
+    args = parser.parse_args()
+    workdir = Path(args.workdir) if args.workdir else Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    direct = workdir / "direct"
+    served = workdir / "served"
+    direct.mkdir(parents=True, exist_ok=True)
+    served.mkdir(parents=True, exist_ok=True)
+
+    log("reference: direct sweep run + report")
+    run_cli(direct, "sweep", "run", "smoke", "--fast", "--set", "engine=fast")
+    run_cli(direct, "sweep", "report", "smoke", "--fast", "--set", "engine=fast")
+
+    log("daemon up (chaos: one injected worker crash)")
+    process, client = start_daemon(served, faults="serve.worker:crash:1")
+    first = client.submit(SWEEP_REQUEST)
+    second = client.submit(SWEEP_REQUEST)
+    if not first["created"] or not second["deduplicated"]:
+        sys.exit(f"serve-smoke: dedup contract broken: {first} / {second}")
+    log(f"submitted {first['job_id']} twice — second deduplicated")
+
+    result = client.wait(first["job_id"], timeout=600.0)
+    points = result["result"]["num_points"]
+    log(f"job done despite injected crash ({points} points)")
+    health = client.health()
+    if health["workers"]["restarts"] < 1:
+        sys.exit(f"serve-smoke: expected >=1 worker restart, got {health['workers']}")
+    log(f"supervisor restarted {health['workers']['restarts']} worker(s)")
+
+    drain(process)
+    log("SIGTERM drain exited 0")
+
+    log("daemon restart: journal recovery must still serve the result")
+    process, client = start_daemon(served)
+    recovered = client.wait(first["job_id"], timeout=60.0)
+    if recovered["result"]["num_points"] != points:
+        sys.exit("serve-smoke: recovered result differs from original")
+    drain(process)
+
+    log("differential: served artifacts vs direct run")
+    reference = grid_root(direct)
+    candidate = grid_root(served)
+    subprocess.run(
+        ["diff", "-r", str(reference / "points"), str(candidate / "points")],
+        check=True,
+    )
+    subprocess.run(
+        ["cmp", str(reference / "sweep.json"), str(candidate / "sweep.json")],
+        check=True,
+    )
+    log(f"PASS — byte-identical artifacts under {workdir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,9 @@ Examples::
     python -m repro sweep run l1-trace --fast --shard 1/2 --resume
     python -m repro trace gen --out /tmp/traces
     python -m repro run-all --fast --jobs 4 --cache-dir /tmp/poise
+    python -m repro serve start --workers 2 --cache-dir /tmp/poise
+    python -m repro serve submit l1-trace --fast --wait
+    python -m repro cache gc --max-age 7d --dry-run
     python -m repro report --fast
     python -m repro bench --dry-run
     python -m repro pretrain --fast --output /tmp/model.json
@@ -142,6 +145,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="longitudinal perf/regression observatory (trajectory|compare|regress|ci)",
         add_help=False,
     )
+    subparsers.add_parser(
+        "serve",
+        help="crash-safe simulation-as-a-service daemon "
+        "(start|submit|status|result|cancel|jobs|health|drain)",
+        add_help=False,
+    )
+    subparsers.add_parser(
+        "cache", help="cache-root maintenance (gc)", add_help=False
+    )
     return parser
 
 
@@ -237,11 +249,25 @@ def _cmd_run(ids: Sequence[str], args: argparse.Namespace) -> int:
         for experiment_id, job in zip(ordered, job_args):
             _finish(experiment_id, runner.run_experiment_job(*job))
 
-    # Run telemetry: per-process counters, so a parallel run reports the
-    # parent's share only (workers accumulate their own; the JobReport
-    # above is the cross-process accounting).
+    # Run telemetry.  The phase timers are per-process (a parallel run
+    # reports the parent's share), but the cache counters are complete:
+    # pool workers ship their deltas home through the job envelopes
+    # (JobReport.worker_cache), merged into the line printed here.
     delta = telemetry_delta(telemetry_before)
-    print(f"cache: {describe_cache(delta['cache'])}")
+    worker_cache = (
+        executor.last_report.worker_cache if executor.last_report is not None else None
+    )
+    if worker_cache:
+        combined = {
+            key: int(delta["cache"].get(key, 0)) + int(worker_cache.get(key, 0))
+            for key in sorted(set(delta["cache"]) | set(worker_cache))
+        }
+        print(
+            f"cache: {describe_cache(combined)} "
+            f"(workers: {describe_cache(worker_cache)})"
+        )
+    else:
+        print(f"cache: {describe_cache(delta['cache'])}")
     if delta["phases"]:
         print(f"phases: {describe_phases(delta['phases'])}")
 
@@ -322,6 +348,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.cli.analyze import main as analyze_main
 
         return analyze_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.cli.serve import main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "cache":
+        from repro.cli.cache_cli import main as cache_main
+
+        return cache_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)

@@ -1,0 +1,210 @@
+"""``repro serve`` — the simulation-as-a-service daemon and its client.
+
+Subcommands::
+
+    repro serve start   [--workers N] [--port P] [...]        # the daemon
+    repro serve submit  GRID [--fast] [--set ...] [--wait]    # enqueue a sweep
+    repro serve status  JOB_ID
+    repro serve result  JOB_ID
+    repro serve cancel  JOB_ID
+    repro serve jobs
+    repro serve health
+    repro serve drain
+
+Client subcommands discover the daemon from
+``<cache_dir>/serve/endpoint.json`` (written by ``start``) unless ``--url``
+is given.  ``submit`` honours the daemon's queue-full backpressure: a 429
+with ``retry_after_seconds`` is retried with the suggested backoff instead
+of hammering a full queue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Optional, Sequence
+
+from repro.experiments.common import default_cache_dir
+
+
+def _add_client_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--url", default=None, metavar="URL",
+                        help="daemon address (default: discovered from "
+                        "<cache-dir>/serve/endpoint.json)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache root the daemon runs against "
+                        "(default: REPRO_CACHE_DIR)")
+    parser.add_argument("--timeout", type=float, default=30.0, metavar="SECS",
+                        help="HTTP timeout per request (default: 30)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve", description="crash-safe simulation-as-a-service"
+    )
+    sub = parser.add_subparsers(dest="serve_command", metavar="SUBCOMMAND", required=True)
+
+    start = sub.add_parser("start", help="run the serve daemon (blocks until drained)")
+    start.add_argument("--host", default="127.0.0.1")
+    start.add_argument("--port", type=int, default=0,
+                       help="TCP port (default: OS-assigned, recorded in endpoint.json)")
+    start.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="shard worker processes (default: 2)")
+    start.add_argument("--max-depth", type=int, default=None, metavar="N",
+                       help="admission control: maximum queued jobs (default: 64)")
+    start.add_argument("--snapshot-every", type=int, default=None, metavar="N",
+                       help="journal appends between snapshot compactions (default: 64)")
+    start.add_argument("--job-timeout", type=float, default=120.0, metavar="SECS",
+                       help="per-job deadline before a worker is declared hung "
+                       "and reaped (default: 120)")
+    start.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="requeue budget per job for transient failures (default: 2)")
+    start.add_argument("--heartbeat-timeout", type=float, default=5.0, metavar="SECS",
+                       help="reap a worker whose heartbeat is older than this "
+                       "(default: 5)")
+    start.add_argument("--max-restarts", type=int, default=4, metavar="N",
+                       help="worker restarts per window before the circuit breaker "
+                       "degrades to serial in-parent execution (default: 4)")
+    start.add_argument("--drain-grace", type=float, default=10.0, metavar="SECS",
+                       help="how long a drain waits for in-flight jobs before "
+                       "requeueing them (default: 10)")
+    start.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache root; the queue lives at DIR/serve/ "
+                       "(default: REPRO_CACHE_DIR)")
+
+    submit = sub.add_parser("submit", help="enqueue a sweep job")
+    submit.add_argument("grid", metavar="GRID", help="a named grid (see `repro sweep list`)")
+    scale = submit.add_mutually_exclusive_group()
+    scale.add_argument("--fast", action="store_true", help="scaled-down configuration (default)")
+    scale.add_argument("--full", action="store_true", help="paper-shaped configuration")
+    submit.add_argument("--set", action="append", default=[], metavar="AXIS=V1,V2",
+                        dest="overrides", help="override one axis (repeatable)")
+    submit.add_argument("--shard", default=None, metavar="K/N",
+                        help="run only the K-th of N slices")
+    submit.add_argument("--priority", type=int, default=0, metavar="P",
+                        help="scheduling priority; higher runs first (default: 0)")
+    submit.add_argument("--no-aggregate", action="store_true",
+                        help="skip the sweep-artifact aggregation step")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job completes and print its result")
+    submit.add_argument("--wait-timeout", type=float, default=600.0, metavar="SECS")
+    _add_client_flags(submit)
+
+    for name, help_text in (
+        ("status", "one job's state and attempt accounting"),
+        ("result", "a completed job's result payload"),
+        ("cancel", "cancel a queued job"),
+    ):
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument("job_id", metavar="JOB_ID")
+        _add_client_flags(command)
+
+    for name, help_text in (
+        ("jobs", "the daemon's job table"),
+        ("health", "daemon, queue and worker-pool health"),
+        ("drain", "begin a graceful drain"),
+    ):
+        command = sub.add_parser(name, help=help_text)
+        _add_client_flags(command)
+    return parser
+
+
+def _client(args: argparse.Namespace):
+    from repro.serve.client import ServeClient
+
+    if args.url:
+        return ServeClient(args.url, timeout=args.timeout)
+    cache_dir = args.cache_dir or str(default_cache_dir())
+    return ServeClient.discover(cache_dir, timeout=args.timeout)
+
+
+def _print_json(payload: Dict[str, Any]) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _cmd_start(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.serve.dispatcher import Dispatcher, ServeConfig
+
+    if args.cache_dir:
+        # Export so workers and nested components agree with the flag.
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    cache_dir = args.cache_dir or str(default_cache_dir())
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        pool_size=args.workers,
+        job_timeout=args.job_timeout if args.job_timeout > 0 else None,
+        retries=max(0, args.retries),
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_restarts=args.max_restarts,
+        drain_grace=args.drain_grace,
+    )
+    if args.max_depth is not None:
+        config.max_depth = args.max_depth
+    if args.snapshot_every is not None:
+        config.snapshot_every = args.snapshot_every
+    return Dispatcher(cache_dir, config).run()
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    request: Dict[str, Any] = {
+        "kind": "sweep",
+        "grid": args.grid,
+        "preset": "full" if args.full else "fast",
+        "overrides": args.overrides,
+        "priority": args.priority,
+    }
+    if args.shard:
+        request["shard"] = args.shard
+    if args.no_aggregate:
+        request["aggregate"] = False
+    client = _client(args)
+    submitted = client.submit_with_backoff(request)
+    verb = "deduplicated onto" if submitted["deduplicated"] else "accepted as"
+    print(f"{verb} {submitted['job_id']} (state: {submitted['state']})")
+    if not args.wait:
+        return 0
+    result = client.wait(submitted["job_id"], timeout=args.wait_timeout)
+    _print_json(result)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    from repro.serve.client import ServeClientError, ServeUnreachable
+
+    try:
+        if args.serve_command == "start":
+            return _cmd_start(args)
+        if args.serve_command == "submit":
+            return _cmd_submit(args)
+        client = _client(args)
+        if args.serve_command == "status":
+            _print_json(client.status(args.job_id))
+        elif args.serve_command == "result":
+            _print_json(client.result(args.job_id))
+        elif args.serve_command == "cancel":
+            _print_json(client.cancel(args.job_id))
+        elif args.serve_command == "jobs":
+            _print_json(client.jobs())
+        elif args.serve_command == "health":
+            _print_json(client.health())
+        elif args.serve_command == "drain":
+            _print_json(client.drain())
+        else:  # pragma: no cover — argparse enforces the choices
+            raise AssertionError(f"unhandled subcommand {args.serve_command!r}")
+        return 0
+    except ServeClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        _print_json(error.payload)
+        return 1
+    except (ServeUnreachable, TimeoutError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

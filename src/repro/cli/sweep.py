@@ -22,15 +22,14 @@ colons, e.g. ``--set poise_strides=0:0,2:4``).
 from __future__ import annotations
 
 import argparse
-import hashlib
-import json
 import os
+import signal
 import sys
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.analysis.tables import Table
 from repro.scenarios.grid import ScenarioError, ScenarioGrid, parse_shard
-from repro.scenarios.library import get_grid, named_grids
+from repro.scenarios.library import apply_overrides, get_grid, named_grids
 from repro.scenarios.report import (
     SweepSchema,
     aggregate,
@@ -90,75 +89,6 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # ---------------------------------------------------------------------------
-# axis-override parsing
-# ---------------------------------------------------------------------------
-
-def _parse_override_value(axis: str, token: str) -> Any:
-    token = token.strip()
-    if token.lower() == "none":
-        return None
-    if axis in ("l1_scale", "max_warps"):
-        try:
-            return int(token)
-        except ValueError:
-            raise ScenarioError(f"axis {axis!r}: {token!r} is not an integer") from None
-    if axis == "poise_strides":
-        parts = token.split(":")
-        if len(parts) != 2:
-            raise ScenarioError(
-                f"axis {axis!r}: {token!r} is not an N:P stride pair (e.g. 2:4)"
-            )
-        try:
-            return (int(parts[0]), int(parts[1]))
-        except ValueError:
-            raise ScenarioError(f"axis {axis!r}: {token!r} is not an N:P stride pair") from None
-    if axis == "feature_mask":
-        try:
-            return tuple(int(part) for part in token.split(":"))
-        except ValueError:
-            raise ScenarioError(
-                f"axis {axis!r}: {token!r} is not a colon-separated index list (e.g. 5:6)"
-            ) from None
-    return token
-
-
-def _apply_overrides(grid: ScenarioGrid, overrides: Sequence[str]) -> ScenarioGrid:
-    """Apply ``--set`` overrides, deriving a distinct grid name.
-
-    An overridden grid is a *different* grid, so it gets its own artifact
-    tree (``<name>@<axes-digest>``): override runs can never mix points into
-    — or clobber the ``sweep.json`` of — the canonical named grid, and the
-    digest is deterministic, so sharded/resumed runs of the same overrides
-    still converge on one directory.
-    """
-    parsed: Dict[str, List[Any]] = {}
-    for override in overrides:
-        axis, separator, raw = override.partition("=")
-        axis = axis.strip()
-        if not separator or not raw.strip():
-            raise ScenarioError(
-                f"malformed --set {override!r} — expected AXIS=V1,V2 (e.g. scheme=gto,poise)"
-            )
-        parsed[axis] = [
-            _parse_override_value(axis, token) for token in raw.split(",") if token.strip()
-        ]
-    if not parsed:
-        return grid
-    derived = grid.with_axes(**parsed)
-    canonical = json.dumps(
-        {
-            axis: [list(value) if isinstance(value, tuple) else value for value in values]
-            for axis, values in derived.axes.items()
-        },
-        sort_keys=True,
-    )
-    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:8]
-    return ScenarioGrid(
-        f"{grid.name}@{digest}", derived.axes, description=derived.description
-    )
-
-
-# ---------------------------------------------------------------------------
 # shared setup
 # ---------------------------------------------------------------------------
 
@@ -171,7 +101,7 @@ def _resolve(args: argparse.Namespace) -> Tuple[ScenarioGrid, "ExperimentConfig"
     if args.cache_dir:
         # Export so sweep workers and nested components agree with the flag.
         os.environ["REPRO_CACHE_DIR"] = args.cache_dir
-    grid = _apply_overrides(get_grid(args.grid), args.overrides)
+    grid = apply_overrides(get_grid(args.grid), args.overrides)
     config = preset_config("fast" if args.fast else "full")
     if args.cache_dir:
         config = replace(config, cache_dir=Path(args.cache_dir))
@@ -227,14 +157,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     def progress(status: PointStatus) -> None:
         print(f"{status.status:<9} {status.point.point_id:<40} {status.path}", flush=True)
 
-    report = runner.run_report(
-        shard=shard,
-        resume=args.resume,
-        jobs=args.jobs,
-        progress=progress,
-        timeout=args.timeout,
-        retries=args.retries,
-    )
+    # Graceful interrupt: SIGINT/SIGTERM stop the sweep *between* points —
+    # the in-flight artifact write completes, the telemetry sidecar is
+    # written, no temp file is left behind — and the exit code says
+    # "interrupted, resume to finish" instead of a traceback (or, for
+    # SIGTERM's default disposition, an arbitrary mid-write kill).
+    received: dict = {"signum": None}
+
+    def _on_signal(signum, frame) -> None:
+        received["signum"] = signum
+
+    previous = {
+        signum: signal.signal(signum, _on_signal)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        report = runner.run_report(
+            shard=shard,
+            resume=args.resume,
+            jobs=args.jobs,
+            progress=progress,
+            timeout=args.timeout,
+            retries=args.retries,
+            stop=lambda: received["signum"] is not None,
+        )
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
     scope = f"shard {args.shard}" if shard else "full grid"
     print(
         f"\nsweep {grid.name} ({config.label}, {scope}): "
@@ -243,6 +192,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     for line in report.summary_lines():
         print(line)
+    if report.interrupted:
+        name = signal.Signals(received["signum"]).name if received["signum"] else "signal"
+        print(f"interrupted by {name} — rerun with --resume to finish", flush=True)
+        return 130
     return 0
 
 

@@ -85,20 +85,42 @@ def _warn_once(env_var: str, raw: str, fallback: str) -> None:
     )
 
 
+def env_number(
+    env_var: str,
+    cast: Callable[[str], Any],
+    fallback: Any,
+    fallback_desc: str,
+) -> Any:
+    """Parse a numeric environment variable with warn-once fallback.
+
+    The single policy for every ``REPRO_*`` runtime knob (and the serve
+    daemon's knobs): an unset/blank variable silently takes the fallback,
+    while a value ``cast`` rejects warns once — naming the bad value and
+    what is used instead — and then takes the fallback.  Never raises,
+    never silently swallows a typo.
+    """
+    raw = os.environ.get(env_var, "").strip()
+    if not raw:
+        return fallback
+    try:
+        return cast(raw)
+    except (TypeError, ValueError):
+        _warn_once(env_var, raw, fallback_desc)
+        return fallback
+
+
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Resolve an explicit or environment-provided worker count to an int."""
     if jobs is not None:
         return max(1, int(jobs))
-    raw = os.environ.get(JOBS_ENV, "").strip().lower()
-    if raw in ("", "1"):
-        return 1
-    if raw in ("0", "auto"):
-        return os.cpu_count() or 1
-    try:
+
+    def cast(raw: str) -> int:
+        raw = raw.lower()
+        if raw in ("0", "auto"):
+            return os.cpu_count() or 1
         return max(1, int(raw))
-    except ValueError:
-        _warn_once(JOBS_ENV, raw, "serial execution (1 job)")
-        return 1
+
+    return env_number(JOBS_ENV, cast, 1, "serial execution (1 job)")
 
 
 def resolve_timeout(timeout: Optional[float] = None) -> Optional[float]:
@@ -106,48 +128,66 @@ def resolve_timeout(timeout: Optional[float] = None) -> Optional[float]:
     if timeout is not None:
         timeout = float(timeout)
         return timeout if timeout > 0 else None
-    raw = os.environ.get(TIMEOUT_ENV, "").strip()
-    if not raw:
-        return None
-    try:
+
+    def cast(raw: str) -> Optional[float]:
         value = float(raw)
-    except ValueError:
-        _warn_once(TIMEOUT_ENV, raw, "no per-job timeout")
-        return None
-    return value if value > 0 else None
+        return value if value > 0 else None
+
+    return env_number(TIMEOUT_ENV, cast, None, "no per-job timeout")
 
 
 def resolve_retries(retries: Optional[int] = None) -> int:
     """Retry budget per job (on top of the first attempt)."""
     if retries is not None:
         return max(0, int(retries))
-    raw = os.environ.get(RETRIES_ENV, "").strip()
-    if not raw:
-        return DEFAULT_RETRIES
-    try:
-        return max(0, int(raw))
-    except ValueError:
-        _warn_once(RETRIES_ENV, raw, f"{DEFAULT_RETRIES} retries")
-        return DEFAULT_RETRIES
+    return env_number(
+        RETRIES_ENV,
+        lambda raw: max(0, int(raw)),
+        DEFAULT_RETRIES,
+        f"{DEFAULT_RETRIES} retries",
+    )
 
 
 def resolve_backoff(backoff: Optional[float] = None) -> float:
     """Backoff base in seconds (0 disables sleeping between retries)."""
     if backoff is not None:
         return max(0.0, float(backoff))
-    raw = os.environ.get(BACKOFF_ENV, "").strip()
-    if not raw:
-        return DEFAULT_BACKOFF
-    try:
-        return max(0.0, float(raw))
-    except ValueError:
-        _warn_once(BACKOFF_ENV, raw, f"{DEFAULT_BACKOFF}s backoff base")
-        return DEFAULT_BACKOFF
+    return env_number(
+        BACKOFF_ENV,
+        lambda raw: max(0.0, float(raw)),
+        DEFAULT_BACKOFF,
+        f"{DEFAULT_BACKOFF}s backoff base",
+    )
 
 
 def _worker_init() -> None:
     """Run in every pool worker: force serial execution for nested sweeps."""
     os.environ[JOBS_ENV] = "1"
+
+
+@dataclass
+class _WorkerEnvelope:
+    """A pool-worker result plus the cache counters it accumulated.
+
+    ``CacheStats`` counters are per process, so a parallel sweep's worker-side
+    hits and misses would otherwise never reach the parent (the documented
+    blind spot of the telemetry layer).  Every pool job is wrapped in
+    :func:`_job_with_cache_delta`, which brackets the job with a counter
+    snapshot and ships the delta home inside this envelope; the parent
+    unwraps it and folds the deltas into :attr:`JobReport.worker_cache`.
+    """
+
+    result: Any
+    cache: Dict[str, int]
+
+
+def _job_with_cache_delta(fn: Callable, *args) -> "_WorkerEnvelope":
+    """Module-level (picklable) pool-job wrapper measuring cache counters."""
+    from repro.runtime.cache import cache_stats
+
+    before = cache_stats().snapshot()
+    result = fn(*args)
+    return _WorkerEnvelope(result, cache_stats().delta(before).to_dict())
 
 
 @dataclass
@@ -176,10 +216,17 @@ class JobReport:
     escalated: int
     pool_restarts: int
     injected: int
+    #: Cache counters accumulated *inside* pool workers (summed over jobs),
+    #: or ``None`` for a serial run (the parent's own counters already
+    #: account for everything).  Closes the per-process counter blind spot.
+    worker_cache: Optional[Dict[str, int]] = None
 
     @classmethod
     def from_records(
-        cls, records: Sequence[JobRecord], pool_restarts: int = 0
+        cls,
+        records: Sequence[JobRecord],
+        pool_restarts: int = 0,
+        worker_cache: Optional[Dict[str, int]] = None,
     ) -> "JobReport":
         return cls(
             jobs=len(records),
@@ -191,9 +238,10 @@ class JobReport:
             escalated=sum(record.escalated for record in records),
             pool_restarts=pool_restarts,
             injected=sum(record.injected is not None for record in records),
+            worker_cache=dict(worker_cache) if worker_cache else None,
         )
 
-    def to_dict(self) -> Dict[str, int]:
+    def to_dict(self) -> Dict[str, Any]:
         """The plain-dict form telemetry sidecars and bench entries embed."""
         return asdict(self)
 
@@ -261,6 +309,7 @@ class SweepExecutor:
         self.last_report: Optional[JobReport] = None
         self._records: List[JobRecord] = []
         self._pool_restarts = 0
+        self._worker_cache: Dict[str, int] = {}
 
     @property
     def parallel(self) -> bool:
@@ -279,6 +328,7 @@ class SweepExecutor:
         args_list = list(args_list)
         self._records = [JobRecord(index) for index in range(len(args_list))]
         self._pool_restarts = 0
+        self._worker_cache = {}
         if self.jobs <= 1 or len(args_list) <= 1:
             results = [
                 self._run_serial(fn, args, record)
@@ -286,7 +336,9 @@ class SweepExecutor:
             ]
         else:
             results = self._map_parallel(fn, args_list)
-        report = JobReport.from_records(self._records, self._pool_restarts)
+        report = JobReport.from_records(
+            self._records, self._pool_restarts, self._worker_cache
+        )
         self.last_report = report
         return results, report
 
@@ -300,12 +352,15 @@ class SweepExecutor:
         if self.last_report is None:
             self._records = []
             self._pool_restarts = 0
+            self._worker_cache = {}
         record = JobRecord(len(self._records))
         self._records.append(record)
         try:
             return self._run_serial(fn, args, record)
         finally:
-            self.last_report = JobReport.from_records(self._records, self._pool_restarts)
+            self.last_report = JobReport.from_records(
+                self._records, self._pool_restarts, self._worker_cache
+            )
 
     # -- serial path --------------------------------------------------------------
 
@@ -410,7 +465,9 @@ class SweepExecutor:
                 if action is not None and records[index].injected is None:
                     records[index].injected = action
             if action is None:
-                futures.append(pool.submit(fn, *args_list[index]))
+                futures.append(
+                    pool.submit(_job_with_cache_delta, fn, *args_list[index])
+                )
             else:
                 futures.append(
                     pool.submit(
@@ -418,6 +475,7 @@ class SweepExecutor:
                         action,
                         spec.stall_seconds,
                         spec.crash_delay_seconds,
+                        _job_with_cache_delta,
                         fn,
                         *args_list[index],
                     )
@@ -437,7 +495,7 @@ class SweepExecutor:
                     if error is None:
                         record.attempts += 1
                         record.salvaged = True
-                        results[index] = future.result()
+                        results[index] = self._absorb(future.result())
                     elif isinstance(error, BrokenProcessPool):
                         record.attempts += 1
                         retry.append(index)
@@ -455,9 +513,9 @@ class SweepExecutor:
             try:
                 if self.timeout is not None:
                     remaining = max(0.0, submitted + self.timeout - time.monotonic())
-                    results[index] = future.result(timeout=remaining)
+                    results[index] = self._absorb(future.result(timeout=remaining))
                 else:
-                    results[index] = future.result()
+                    results[index] = self._absorb(future.result())
                 record.attempts += 1
             except FutureTimeoutError:
                 record.attempts += 1
@@ -488,6 +546,15 @@ class SweepExecutor:
         if fatal is not None:
             raise fatal
         return retry
+
+    def _absorb(self, value: Any) -> Any:
+        """Unwrap a pool-worker envelope, folding its cache delta home."""
+        if isinstance(value, _WorkerEnvelope):
+            for key, count in value.cache.items():
+                if count:
+                    self._worker_cache[key] = self._worker_cache.get(key, 0) + count
+            return value.result
+        return value
 
     @staticmethod
     def _teardown(pool: ProcessPoolExecutor) -> None:

@@ -151,3 +151,77 @@ def get_grid(name: str) -> ScenarioGrid:
             f"unknown sweep grid {name!r} (known grids: {', '.join(sorted(grids))})"
         )
     return grids[name]
+
+
+# ---------------------------------------------------------------------------
+# axis overrides (shared by ``repro sweep --set`` and the serve job API)
+# ---------------------------------------------------------------------------
+
+def parse_override_value(axis: str, token: str):
+    """Parse one ``--set AXIS=...`` value token into its axis-typed form."""
+    token = token.strip()
+    if token.lower() == "none":
+        return None
+    if axis in ("l1_scale", "max_warps"):
+        try:
+            return int(token)
+        except ValueError:
+            raise ScenarioError(f"axis {axis!r}: {token!r} is not an integer") from None
+    if axis == "poise_strides":
+        parts = token.split(":")
+        if len(parts) != 2:
+            raise ScenarioError(
+                f"axis {axis!r}: {token!r} is not an N:P stride pair (e.g. 2:4)"
+            )
+        try:
+            return (int(parts[0]), int(parts[1]))
+        except ValueError:
+            raise ScenarioError(f"axis {axis!r}: {token!r} is not an N:P stride pair") from None
+    if axis == "feature_mask":
+        try:
+            return tuple(int(part) for part in token.split(":"))
+        except ValueError:
+            raise ScenarioError(
+                f"axis {axis!r}: {token!r} is not a colon-separated index list (e.g. 5:6)"
+            ) from None
+    return token
+
+
+def apply_overrides(grid: ScenarioGrid, overrides: Sequence[str]) -> ScenarioGrid:
+    """Apply ``AXIS=V1,V2`` overrides, deriving a distinct grid name.
+
+    An overridden grid is a *different* grid, so it gets its own artifact
+    tree (``<name>@<axes-digest>``): override runs can never mix points into
+    — or clobber the ``sweep.json`` of — the canonical named grid, and the
+    digest is deterministic, so sharded/resumed/served runs of the same
+    overrides still converge on one directory.
+    """
+    import hashlib
+    import json
+
+    parsed: Dict[str, List] = {}
+    for override in overrides:
+        axis, separator, raw = override.partition("=")
+        axis = axis.strip()
+        if not separator or not raw.strip():
+            raise ScenarioError(
+                f"malformed --set override {override!r} — expected AXIS=V1,V2 "
+                f"(e.g. scheme=gto,poise)"
+            )
+        parsed[axis] = [
+            parse_override_value(axis, token) for token in raw.split(",") if token.strip()
+        ]
+    if not parsed:
+        return grid
+    derived = grid.with_axes(**parsed)
+    canonical = json.dumps(
+        {
+            axis: [list(value) if isinstance(value, tuple) else value for value in values]
+            for axis, values in derived.axes.items()
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:8]
+    return ScenarioGrid(
+        f"{grid.name}@{digest}", derived.axes, description=derived.description
+    )

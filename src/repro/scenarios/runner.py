@@ -180,10 +180,14 @@ class SweepRunReport:
     repaired_writes: int = 0
     stale_tmps_removed: int = 0
     job_report: Optional[JobReport] = None
-    #: Cache counters + phase wall-clock accumulated by this run (parent
-    #: process only — parallel workers keep their own; see the JobReport
-    #: for cross-process accounting).
+    #: Cache counters + phase wall-clock accumulated by this run.  The
+    #: ``cache`` section is the parent's share; for a parallel run the
+    #: worker-side deltas shipped home through the job envelopes appear as
+    #: ``cache_workers`` and the sum of both as ``cache_combined``.
     telemetry: Optional[Dict[str, Any]] = None
+    #: True when a graceful-stop request (SIGINT/SIGTERM) ended the run
+    #: before every point was computed; rerun with ``resume`` to finish.
+    interrupted: bool = False
 
     @property
     def computed(self) -> int:
@@ -216,10 +220,23 @@ class SweepRunReport:
         if spec is not None:
             lines.append(f"faults injected: {spec.describe()}")
         if self.telemetry is not None:
-            lines.append(f"cache: {describe_cache(self.telemetry.get('cache', {}))}")
+            combined = self.telemetry.get("cache_combined")
+            if combined is not None:
+                workers = self.telemetry.get("cache_workers", {})
+                lines.append(
+                    f"cache: {describe_cache(combined)} "
+                    f"(workers: {describe_cache(workers)})"
+                )
+            else:
+                lines.append(f"cache: {describe_cache(self.telemetry.get('cache', {}))}")
             phases = self.telemetry.get("phases") or {}
             if phases:
                 lines.append(f"phases: {describe_phases(phases)}")
+        if self.interrupted:
+            lines.append(
+                "interrupted before every point completed — rerun with "
+                "--resume to finish"
+            )
         return lines
 
 
@@ -342,6 +359,7 @@ class SweepRunner:
         progress: Optional[Callable[[PointStatus], None]] = None,
         timeout: Optional[float] = None,
         retries: Optional[int] = None,
+        stop: Optional[Callable[[], bool]] = None,
     ) -> List[PointStatus]:
         """Execute the grid (or one shard), writing one artifact per point."""
         return self.run_report(
@@ -351,6 +369,7 @@ class SweepRunner:
             progress=progress,
             timeout=timeout,
             retries=retries,
+            stop=stop,
         ).statuses
 
     def run_report(
@@ -361,8 +380,17 @@ class SweepRunner:
         progress: Optional[Callable[[PointStatus], None]] = None,
         timeout: Optional[float] = None,
         retries: Optional[int] = None,
+        stop: Optional[Callable[[], bool]] = None,
     ) -> SweepRunReport:
-        """Like :meth:`run`, returning the full failure accounting."""
+        """Like :meth:`run`, returning the full failure accounting.
+
+        ``stop`` is a graceful-interrupt predicate checked between points on
+        the serial streaming path (and before the parallel fan-out starts):
+        once it returns True no further point is *started*, the in-flight
+        artifact write completes, the telemetry sidecar is still written and
+        the report comes back with ``interrupted=True`` — nothing is ever
+        torn, so a later ``resume`` run completes byte-identically.
+        """
         points = self.grid.shard(*shard) if shard is not None else self.grid.points()
         telemetry_before = telemetry_snapshot()
         report = SweepRunReport()
@@ -392,7 +420,7 @@ class SweepRunner:
         write_plan = spec.site_plan("runner.write", len(todo)) if spec else {}
         executor: Optional[SweepExecutor] = None
         for index, (point, metrics) in enumerate(
-            zip(todo, self._compute(todo, jobs, timeout, retries))
+            zip(todo, self._compute(todo, jobs, timeout, retries, stop))
         ):
             path = self._write_point(point, metrics, report, write_plan.pop(index, None))
             statuses[point] = PointStatus(point, path, "computed")
@@ -401,8 +429,19 @@ class SweepRunner:
             executor = self._last_executor
         if executor is not None:
             report.job_report = executor.last_report
-        report.statuses = [statuses[point] for point in points]
+        report.statuses = [statuses[point] for point in points if point in statuses]
+        report.interrupted = len(report.statuses) < len(points)
         report.telemetry = telemetry_delta(telemetry_before)
+        worker_cache = (
+            report.job_report.worker_cache if report.job_report is not None else None
+        )
+        if worker_cache:
+            parent = report.telemetry.get("cache", {})
+            report.telemetry["cache_workers"] = dict(worker_cache)
+            report.telemetry["cache_combined"] = {
+                key: int(parent.get(key, 0)) + int(worker_cache.get(key, 0))
+                for key in sorted(set(parent) | set(worker_cache))
+            }
         self._write_telemetry(report)
         return report
 
@@ -421,6 +460,7 @@ class SweepRunner:
             "label": self.label,
             "computed": report.computed,
             "skipped": report.skipped,
+            "interrupted": report.interrupted,
             "quarantined": len(report.quarantined),
             "repaired_writes": report.repaired_writes,
             "stale_tmps_removed": report.stale_tmps_removed,
@@ -473,15 +513,26 @@ class SweepRunner:
         jobs: Optional[int],
         timeout: Optional[float] = None,
         retries: Optional[int] = None,
+        stop: Optional[Callable[[], bool]] = None,
     ):
+        def stopped() -> bool:
+            return stop is not None and stop()
+
         self._last_executor: Optional[SweepExecutor] = None
         if self._evaluate is not None:
             for point in todo:
+                if stopped():
+                    return
                 yield self._evaluate(point)
             return
         executor = SweepExecutor(jobs=jobs, timeout=timeout, retries=retries)
         self._last_executor = executor
         if executor.parallel and len(todo) > 1:
+            # The parallel fan-out is all-or-nothing: a stop request that
+            # arrives before it starts skips it entirely; one that arrives
+            # mid-map takes effect when the map returns.
+            if stopped():
+                return
             self._prefetch_models(todo)
             yield from executor.map(_point_job, [(point, self.config) for point in todo])
             return
@@ -489,6 +540,8 @@ class SweepRunner:
         # artifacts checkpoint as they land (an interrupt loses at most the
         # in-flight point) while retaining the retry policy and accounting.
         for point in todo:
+            if stopped():
+                return
             yield executor.run_one(evaluate_point, (point, self.config))
 
     def _prefetch_models(self, todo: Sequence[ScenarioPoint]) -> None:

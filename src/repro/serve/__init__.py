@@ -1,0 +1,48 @@
+"""``repro serve`` — crash-safe simulation-as-a-service.
+
+The service layer turns the sweep runtime into a long-running daemon:
+
+* :mod:`repro.serve.journal` — the durable job queue: an append-only JSONL
+  write-ahead journal plus a periodically compacted snapshot under
+  ``$REPRO_CACHE_DIR/serve/``, replayed on startup so a ``kill -9``
+  mid-burst loses no accepted job.  Admission control, priority +
+  shortest-job backfill ordering and content-key deduplication live here.
+* :mod:`repro.serve.jobs` — the job vocabulary: request validation /
+  canonicalization (the content key that deduplicates identical
+  submissions) and in-process execution on top of
+  :class:`~repro.scenarios.runner.SweepRunner` and the content-addressed
+  :class:`~repro.runtime.cache.DiskCache`.
+* :mod:`repro.serve.supervisor` — the worker pool: shard worker processes
+  with per-worker heartbeats, hung-worker detection and reaping, bounded
+  restart with backoff and a circuit breaker that degrades to serial
+  in-parent execution when the pool keeps dying.
+* :mod:`repro.serve.dispatcher` — the daemon: the event loop wiring queue,
+  supervisor and API together, graceful drain on SIGTERM.
+* :mod:`repro.serve.api` — the stdlib ``http.server`` HTTP/JSON surface.
+* :mod:`repro.serve.client` — a thin ``urllib`` client used by the
+  ``repro serve submit|status|...`` subcommands and the tests.
+
+Lazy (PEP 562) like :mod:`repro.obs`: the execution side imports the
+experiment layer, which is far too heavy for ``import repro.serve``.
+"""
+
+from __future__ import annotations
+
+_SUBMODULES = {
+    "api": "repro.serve.api",
+    "client": "repro.serve.client",
+    "dispatcher": "repro.serve.dispatcher",
+    "jobs": "repro.serve.jobs",
+    "journal": "repro.serve.journal",
+    "supervisor": "repro.serve.supervisor",
+}
+
+__all__ = sorted(_SUBMODULES)
+
+
+def __getattr__(name: str):
+    if name in _SUBMODULES:
+        import importlib
+
+        return importlib.import_module(_SUBMODULES[name])
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

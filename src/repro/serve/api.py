@@ -1,0 +1,139 @@
+"""Stdlib HTTP/JSON surface of the serve daemon.
+
+Routes (all JSON in, JSON out)::
+
+    POST /jobs              submit a request   -> 200 {job_id, created, ...}
+                                               -> 400 bad request
+                                               -> 429 queue full (+ Retry-After)
+                                               -> 503 draining
+    GET  /jobs              job table (no results/requests)
+    GET  /jobs/<id>         one job's status
+    GET  /jobs/<id>/result  completed result   -> 409 while queued/running
+                                               -> 410 when the job failed
+    POST /jobs/<id>/cancel  cancel a queued job
+    POST /drain             begin graceful drain
+    GET  /health            daemon + queue + worker-pool health
+
+Handler threads call straight into the :class:`~repro.serve.dispatcher.
+Dispatcher`; the job queue's lock serialises them against the daemon loop.
+Errors travel as :class:`~repro.serve.dispatcher.ServeError` carrying the
+HTTP status and a structured payload — the client re-raises them with the
+payload intact, so ``retry_after_seconds`` survives end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.dispatcher import ServeError
+
+_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)(/result|/cancel)?$")
+
+#: Cap on request bodies — a job request is a few hundred bytes; anything
+#: megabyte-sized is a client bug, not a sweep.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------------------
+
+    @property
+    def dispatcher(self):
+        return self.server.dispatcher  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # the daemon's stdout is for operators, not per-request noise
+
+    def _send_json(
+        self, status: int, payload: Dict[str, Any], headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_payload(self, error: ServeError) -> None:
+        headers = {}
+        retry_after = error.payload.get("retry_after_seconds")
+        if retry_after is not None:
+            headers["Retry-After"] = str(int(max(1, round(retry_after))))
+        self._send_json(error.status, error.payload, headers)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServeError(
+                413, {"error": "too-large", "message": "request body too large"}
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return None
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise ServeError(
+                400, {"error": "bad-json", "message": "request body is not valid JSON"}
+            ) from None
+
+    def _dispatch(self, method: str) -> Tuple[int, Dict[str, Any]]:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if method == "GET" and path == "/health":
+            return 200, self.dispatcher.health()
+        if method == "GET" and path == "/jobs":
+            return 200, self.dispatcher.jobs()
+        if method == "POST" and path == "/jobs":
+            return 200, self.dispatcher.submit(self._read_body())
+        if method == "POST" and path == "/drain":
+            return 200, self.dispatcher.drain()
+        match = _JOB_PATH.match(path)
+        if match:
+            job_id, suffix = match.groups()
+            if method == "GET" and suffix is None:
+                return 200, self.dispatcher.status(job_id)
+            if method == "GET" and suffix == "/result":
+                return 200, self.dispatcher.result(job_id)
+            if method == "POST" and suffix == "/cancel":
+                return 200, self.dispatcher.cancel(job_id)
+        raise ServeError(
+            404, {"error": "not-found", "message": f"no route {method} {path}"}
+        )
+
+    def _handle(self, method: str) -> None:
+        try:
+            status, payload = self._dispatch(method)
+            self._send_json(status, payload)
+        except ServeError as error:
+            self._send_error_payload(error)
+        except BrokenPipeError:
+            pass
+        except Exception as error:  # noqa: BLE001 — one bad request must not kill the daemon
+            self._send_json(
+                500,
+                {"error": "internal", "message": f"{type(error).__name__}: {error}"},
+            )
+
+    # -- verbs ----------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+
+def make_server(dispatcher, host: str, port: int) -> ThreadingHTTPServer:
+    """Bind the API server (not yet serving) and attach the dispatcher."""
+    server = ThreadingHTTPServer((host, port), ServeHandler)
+    server.daemon_threads = True
+    server.dispatcher = dispatcher  # type: ignore[attr-defined]
+    return server

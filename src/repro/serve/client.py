@@ -1,0 +1,148 @@
+"""Thin ``urllib`` client for the serve daemon.
+
+Used by the ``repro serve submit|status|result|cancel|drain|health``
+subcommands and by the tests; no third-party HTTP stack.  The daemon's
+address is either given explicitly or discovered from the
+``endpoint.json`` the daemon writes next to its journal.
+
+Structured daemon errors (queue-full with ``retry_after_seconds``, a
+not-done result poll, a failed job) surface as :class:`ServeClientError`
+with the JSON payload attached — callers branch on ``payload["error"]``,
+not on string matching.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+
+class ServeClientError(RuntimeError):
+    """An HTTP-level error from the daemon, payload attached."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        super().__init__(
+            f"serve daemon returned {status}: "
+            f"{payload.get('message') or payload.get('error') or payload}"
+        )
+        self.status = status
+        self.payload = payload
+
+
+class ServeUnreachable(RuntimeError):
+    """No daemon at the given (or discovered) address."""
+
+
+def discover_endpoint(cache_dir: Union[str, Path]) -> str:
+    """The daemon URL recorded in ``<cache_dir>/serve/endpoint.json``."""
+    path = Path(cache_dir) / "serve" / "endpoint.json"
+    try:
+        document = json.loads(path.read_text())
+        url = document["url"]
+    except FileNotFoundError:
+        raise ServeUnreachable(
+            f"no serve daemon endpoint at {path} — is `repro serve start` running?"
+        ) from None
+    except (OSError, ValueError, KeyError) as error:
+        raise ServeUnreachable(f"unreadable serve endpoint {path}: {error}") from None
+    return url
+
+
+class ServeClient:
+    """One daemon address; methods mirror the HTTP routes one-to-one."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    @classmethod
+    def discover(cls, cache_dir: Union[str, Path], timeout: float = 30.0) -> "ServeClient":
+        return cls(discover_endpoint(cache_dir), timeout=timeout)
+
+    # -- transport ------------------------------------------------------------------
+
+    def _call(
+        self, method: str, path: str, body: Optional[Any] = None
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError, OSError):
+                payload = {"error": "http", "message": str(error)}
+            raise ServeClientError(error.code, payload) from None
+        except (urllib.error.URLError, ConnectionError, TimeoutError) as error:
+            raise ServeUnreachable(f"cannot reach serve daemon at {self.url}: {error}") from None
+
+    # -- routes ---------------------------------------------------------------------
+
+    def submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self._call("POST", "/jobs", request)
+
+    def submit_with_backoff(
+        self, request: Dict[str, Any], attempts: int = 8
+    ) -> Dict[str, Any]:
+        """Submit, honouring queue-full ``retry_after_seconds`` hints."""
+        last: Optional[ServeClientError] = None
+        for _ in range(max(1, attempts)):
+            try:
+                return self.submit(request)
+            except ServeClientError as error:
+                if error.status != 429:
+                    raise
+                last = error
+                time.sleep(float(error.payload.get("retry_after_seconds", 1.0)))
+        raise last  # type: ignore[misc]  # attempts >= 1, so last is set
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._call("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._call("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._call("POST", f"/jobs/{job_id}/cancel")
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._call("GET", "/jobs")
+
+    def health(self) -> Dict[str, Any]:
+        return self._call("GET", "/health")
+
+    def drain(self) -> Dict[str, Any]:
+        return self._call("POST", "/drain")
+
+    # -- conveniences ----------------------------------------------------------------
+
+    def wait(
+        self, job_id: str, timeout: float = 120.0, poll: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll until the job completes; returns the result payload.
+
+        Raises :class:`ServeClientError` (status 410) when the job failed,
+        and :class:`TimeoutError` when ``timeout`` elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.result(job_id)
+            except ServeClientError as error:
+                if error.status != 409:  # not-done is the only keep-waiting case
+                    raise
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} did not complete within {timeout}s")
+            time.sleep(poll)

@@ -1,0 +1,398 @@
+"""The serve daemon: event loop wiring queue, supervisor and HTTP API.
+
+One :class:`Dispatcher` owns
+
+* the durable :class:`~repro.serve.journal.JobQueue` (WAL + snapshot under
+  ``<cache_dir>/serve/``),
+* the :class:`~repro.serve.supervisor.Supervisor` worker pool,
+* the :mod:`~repro.serve.api` HTTP server (handler threads call into the
+  dispatcher; the queue's lock makes that safe).
+
+The loop each tick: top the pool back up, hand queued jobs to idle workers
+(consuming the ``serve.worker`` fault budget parent-side so the chosen
+chaos action ships *in the task message* — a restarted worker never
+re-fires it), pump supervisor events (results, hung-worker reaps, losses)
+into queue transitions, and — when the circuit breaker has given up on
+the pool — execute jobs serially in-parent so the service degrades
+instead of dying.
+
+**Drain** (SIGTERM/SIGINT or ``POST /drain``): stop admitting, stop
+dispatching, give in-flight jobs ``drain_grace`` seconds to finish, requeue
+whatever remains (journaled, so the next daemon picks them up), compact a
+final snapshot, remove ``endpoint.json`` and return 0.
+
+A ``kill -9`` skips all of that by definition — and loses nothing anyway:
+every accepted job is in the journal, recovery requeues the in-flight
+ones, and sweep execution is resume-idempotent, so the restarted daemon
+converges on byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.telemetry import record_serve, record_serve_gauge, serve_totals
+from repro.runtime import faults
+from repro.runtime.cache import atomic_write_json
+from repro.serve import jobs as jobs_module
+from repro.serve.journal import (
+    DEFAULT_MAX_DEPTH,
+    DEFAULT_SNAPSHOT_EVERY,
+    DONE,
+    FAILED,
+    JobQueue,
+    QueueFullError,
+)
+from repro.serve.supervisor import Supervisor
+
+ENDPOINT_NAME = "endpoint.json"
+
+
+class ServeError(RuntimeError):
+    """A request the daemon refuses; carries an HTTP status + payload."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        super().__init__(payload.get("message") or payload.get("error") or "error")
+        self.status = status
+        self.payload = payload
+
+
+@dataclass
+class ServeConfig:
+    """Daemon knobs, resolved by the CLI from flags and environment."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: let the OS pick; endpoint.json records the choice
+    pool_size: int = 2
+    max_depth: int = DEFAULT_MAX_DEPTH
+    snapshot_every: int = DEFAULT_SNAPSHOT_EVERY
+    job_timeout: Optional[float] = 120.0
+    retries: int = 2
+    heartbeat_interval: float = 0.2
+    heartbeat_timeout: float = 5.0
+    max_restarts: int = 4
+    restart_window: float = 60.0
+    drain_grace: float = 10.0
+
+
+def serve_root(cache_dir: Union[str, Path]) -> Path:
+    return Path(cache_dir) / "serve"
+
+
+class Dispatcher:
+    """The daemon.  ``run()`` blocks until drained."""
+
+    def __init__(self, cache_dir: Union[str, Path], config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.cache_dir = Path(cache_dir)
+        self.root = serve_root(self.cache_dir)
+        self.queue = JobQueue(
+            self.root,
+            max_depth=self.config.max_depth,
+            snapshot_every=self.config.snapshot_every,
+        )
+        self.supervisor = Supervisor(
+            pool_size=self.config.pool_size,
+            job_timeout=self.config.job_timeout,
+            heartbeat_interval=self.config.heartbeat_interval,
+            heartbeat_timeout=self.config.heartbeat_timeout,
+            max_restarts=self.config.max_restarts,
+            restart_window=self.config.restart_window,
+        )
+        self.draining = threading.Event()
+        self._server = None
+        self._server_thread: Optional[threading.Thread] = None
+
+    # -- request surface (called from HTTP handler threads) -------------------------
+
+    def submit(self, request: Any) -> Dict[str, Any]:
+        if self.draining.is_set():
+            raise ServeError(
+                503,
+                {
+                    "error": "draining",
+                    "message": "daemon is draining and admits no new work — "
+                    "resubmit after it restarts",
+                    "retry_after_seconds": self.config.drain_grace,
+                },
+            )
+        try:
+            canonical, priority, cost = jobs_module.canonicalize(request)
+        except jobs_module.JobError as error:
+            raise ServeError(400, {"error": "bad-request", "message": str(error)}) from None
+        try:
+            job, created = self.queue.submit(canonical, priority=priority, cost=cost)
+        except QueueFullError as error:
+            record_serve("jobs_rejected")
+            raise ServeError(429, error.to_payload()) from None
+        if created:
+            record_serve("jobs_accepted")
+        else:
+            record_serve("dedup_hits")
+        record_serve_gauge("queue_depth_peak", float(self.queue.depth()))
+        return {
+            "job_id": job.id,
+            "state": job.state,
+            "created": created,
+            "deduplicated": not created,
+            "priority": job.priority,
+            "cost": job.cost,
+        }
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        job = self.queue.get(job_id)
+        if job is None:
+            raise ServeError(404, {"error": "unknown-job", "message": f"no job {job_id!r}"})
+        payload = job.to_dict()
+        payload.pop("result", None)  # results flow through /result only
+        return payload
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        job = self.queue.get(job_id)
+        if job is None:
+            raise ServeError(404, {"error": "unknown-job", "message": f"no job {job_id!r}"})
+        if job.state == FAILED:
+            raise ServeError(
+                410, {"error": "job-failed", "message": job.error or "job failed",
+                      "state": job.state}
+            )
+        if job.state != DONE:
+            raise ServeError(
+                409,
+                {
+                    "error": "not-done",
+                    "message": f"job {job_id} is {job.state}",
+                    "state": job.state,
+                },
+            )
+        return {"job_id": job.id, "state": job.state, "result": job.result}
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        if self.queue.get(job_id) is None:
+            raise ServeError(404, {"error": "unknown-job", "message": f"no job {job_id!r}"})
+        job = self.queue.cancel(job_id)
+        if job is None:
+            state = self.queue.get(job_id).state
+            raise ServeError(
+                409,
+                {
+                    "error": "not-cancellable",
+                    "message": f"job {job_id} is {state} — only queued jobs cancel",
+                    "state": state,
+                },
+            )
+        record_serve("jobs_cancelled")
+        return {"job_id": job.id, "state": job.state}
+
+    def jobs(self) -> Dict[str, Any]:
+        listed = []
+        for job in self.queue.list_jobs():
+            payload = job.to_dict()
+            payload.pop("result", None)
+            payload.pop("request", None)
+            listed.append(payload)
+        return {"jobs": listed}
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "pid": os.getpid(),
+            "draining": self.draining.is_set(),
+            "queue": self.queue.stats(),
+            "workers": {
+                "pool_size": self.supervisor.pool_size,
+                "alive": self.supervisor.alive_workers(),
+                "idle": len(self.supervisor.idle_workers()),
+                "restarts": self.supervisor.restarts,
+                "reaped": self.supervisor.reaped,
+                "breaker_open": self.supervisor.breaker_open,
+            },
+            "serve_telemetry": serve_totals(),
+            "recovery": self.queue.recovery.summary(),
+        }
+
+    def drain(self) -> Dict[str, Any]:
+        self.draining.set()
+        return {"draining": True, "in_flight": len(self.queue.running())}
+
+    # -- daemon loop ----------------------------------------------------------------
+
+    @property
+    def endpoint_path(self) -> Path:
+        return self.root / ENDPOINT_NAME
+
+    def _write_endpoint(self, host: str, port: int) -> None:
+        atomic_write_json(
+            self.endpoint_path,
+            {"host": host, "port": port, "pid": os.getpid(), "url": f"http://{host}:{port}"},
+            indent=2,
+        )
+
+    def _start_api(self) -> None:
+        from repro.serve.api import make_server
+
+        self._server = make_server(self, self.config.host, self.config.port)
+        host, port = self._server.server_address[:2]
+        self._write_endpoint(self.config.host, port)
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            daemon=True,
+            name="repro-serve-api",
+        )
+        self._server_thread.start()
+
+    def _install_signals(self) -> Dict[int, Any]:
+        previous = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(
+                    signum, lambda _signum, _frame: self.draining.set()
+                )
+            except ValueError:
+                # Not the main thread (a test driving the daemon from a
+                # thread): signals stay with the host; /drain still works.
+                break
+        return previous
+
+    def run(self) -> int:
+        """Serve until drained; returns 0 (the graceful-drain exit code)."""
+        previous = self._install_signals()
+        self.supervisor.start()
+        self._start_api()
+        print(
+            f"repro serve: listening on http://{self.config.host}:"
+            f"{self._server.server_address[1]} — queue at {self.root} "
+            f"({self.queue.recovery.summary()})",
+            flush=True,
+        )
+        try:
+            while True:
+                self.supervisor.heal()
+                self._dispatch_ready()
+                for event in self.supervisor.pump(timeout=0.05):
+                    self._on_event(event)
+                self._escalate_if_broken()
+                if self.draining.is_set():
+                    break
+            self._drain()
+        finally:
+            self._shutdown_api()
+            self.supervisor.stop()
+            self.queue.snapshot()
+            self.queue.close()
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        print("repro serve: drained cleanly", flush=True)
+        return 0
+
+    def _dispatch_ready(self) -> None:
+        if self.draining.is_set():
+            return
+        while True:
+            if not self.supervisor.idle_workers():
+                return
+            job = self.queue.next_job()
+            if job is None:
+                return
+            # Consume the chaos budget here, in the parent: the action rides
+            # in the task message, so worker restarts never replay it.
+            action = faults.take_action("serve.worker")
+            if action is not None:
+                record_serve("faults_dispatched")
+            self.queue.mark_running(job, worker="?")
+            worker = self.supervisor.dispatch(job.id, job.request, action=action)
+            job.worker = worker  # advisory; the journaled transition matters
+
+    def _on_event(self, event) -> None:
+        job = self.queue.get(event.job_id)
+        if job is None or job.state != "running":
+            return  # cancelled/compacted meanwhile
+        if event.kind == "done":
+            self.queue.mark_done(job, event.result)
+            record_serve("jobs_done")
+        elif event.kind == "failed":
+            if event.retryable and job.attempts <= self.config.retries:
+                self.queue.requeue(job)
+                record_serve("jobs_requeued")
+            else:
+                self.queue.mark_failed(job, event.error or "job failed")
+                record_serve("jobs_failed")
+        elif event.kind == "lost":
+            # A lost worker is the service's fault, not the job's, so the
+            # budget is one attempt more generous than a reported failure —
+            # but still bounded, or a poison job would crash-loop the pool.
+            if job.attempts <= self.config.retries + 1:
+                self.queue.requeue(job)
+                record_serve("jobs_requeued")
+            else:
+                self.queue.mark_failed(
+                    job, event.error or "worker lost repeatedly"
+                )
+                record_serve("jobs_failed")
+
+    def _escalate_if_broken(self) -> None:
+        """Circuit breaker open and pool gone: run jobs serially in-parent.
+
+        One job per tick keeps the HTTP surface responsive.  The escalation
+        path applies no fault actions — injected chaos targets workers, and
+        a daemon that crashed itself while degrading would turn a contained
+        failure into an outage.
+        """
+        if not self.supervisor.breaker_open or self.supervisor.alive_workers():
+            return
+        if self.draining.is_set():
+            return
+        job = self.queue.next_job()
+        if job is None:
+            return
+        record_serve("serial_escalations")
+        self.queue.mark_running(job, worker="parent")
+        try:
+            result = jobs_module.execute(job.request)
+        except Exception as error:  # noqa: BLE001 — degrade, don't die
+            if isinstance(error, OSError) and job.attempts <= self.config.retries:
+                self.queue.requeue(job)
+                record_serve("jobs_requeued")
+            else:
+                self.queue.mark_failed(job, f"{type(error).__name__}: {error}")
+                record_serve("jobs_failed")
+        else:
+            self.queue.mark_done(job, result)
+            record_serve("jobs_done")
+
+    def _drain(self) -> None:
+        """Finish in-flight work within the grace period; requeue the rest."""
+        deadline = time.monotonic() + self.config.drain_grace
+        while self.supervisor.busy_jobs() and time.monotonic() < deadline:
+            for event in self.supervisor.pump(timeout=0.1):
+                self._on_event(event)
+        for job_id in self.supervisor.busy_jobs():
+            job = self.queue.get(job_id)
+            if job is not None and job.state == "running":
+                self.queue.requeue(job)
+                record_serve("jobs_requeued")
+        # Jobs journaled as running with no worker attached (e.g. breaker
+        # path interrupted) also re-enter the queue for the next daemon.
+        for job in self.queue.running():
+            self.queue.requeue(job)
+
+    def _shutdown_api(self) -> None:
+        if self._server is not None:
+            try:
+                self._server.shutdown()
+                self._server.server_close()
+            except OSError:
+                pass
+        if self._server_thread is not None:
+            self._server_thread.join(2.0)
+        try:
+            self.endpoint_path.unlink()
+        except OSError:
+            pass

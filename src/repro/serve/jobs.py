@@ -1,0 +1,208 @@
+"""The serve job vocabulary: validation, canonicalization and execution.
+
+A *request* is the JSON body a client POSTs to ``/jobs``.  Two kinds exist:
+
+``sweep``
+    Run a named scenario grid (optionally with axis overrides and a shard)
+    through :class:`~repro.scenarios.runner.SweepRunner` with ``resume=True``
+    and, for unsharded runs, aggregate the per-point artifacts into the
+    sweep artifact.  Because execution is resume-idempotent and every
+    artifact is content-stable, re-running a sweep job after a crash —
+    or on a different worker after a requeue — converges on byte-identical
+    artifacts.
+
+``probe``
+    A cheap diagnostic job: sleep a little, echo a payload back, optionally
+    fail on demand.  It exists so the queue/supervisor machinery can be
+    exercised (and chaos-tested) in milliseconds without touching the
+    simulator.
+
+:func:`canonicalize` maps a raw request to its *canonical* form — defaults
+filled in, unknown fields rejected, values normalised — which is what gets
+content-keyed for deduplication: however a client spells an equivalent
+request, it coalesces onto the same job.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.runtime.cache import cache_stats
+
+JOB_KINDS = ("sweep", "probe")
+
+_SWEEP_FIELDS = frozenset(
+    {"kind", "grid", "preset", "overrides", "shard", "aggregate", "priority"}
+)
+_PROBE_FIELDS = frozenset({"kind", "sleep", "echo", "fail", "nonce", "priority"})
+
+
+class JobError(ValueError):
+    """A request that cannot be admitted (client error, HTTP 400)."""
+
+
+def _reject_unknown(request: Dict[str, Any], allowed: frozenset) -> None:
+    unknown = sorted(set(request) - allowed)
+    if unknown:
+        raise JobError(
+            f"unknown request field(s): {', '.join(unknown)} "
+            f"(allowed: {', '.join(sorted(allowed))})"
+        )
+
+
+def _canonical_shard(raw: Any) -> Optional[str]:
+    if raw is None:
+        return None
+    from repro.scenarios.grid import ScenarioError, parse_shard
+
+    try:
+        index, count = parse_shard(str(raw))
+    except ScenarioError as error:
+        raise JobError(str(error)) from None
+    return f"{index}/{count}"
+
+
+def canonicalize(request: Any) -> Tuple[Dict[str, Any], int, int]:
+    """Validate a raw request; return ``(canonical, priority, cost)``.
+
+    The canonical form is the job's identity — it is content-keyed for
+    deduplication — so it must be deterministic: defaults are made
+    explicit, overrides keep their order (later overrides of the same axis
+    win, exactly as on the ``repro sweep`` command line), and advisory
+    fields like ``priority`` stay *out* of it (a re-submission at a
+    different priority is still the same work).
+
+    ``cost`` is the scheduler's backfill weight: the number of grid points
+    a sweep job will run, or 1 for a probe.
+    """
+    if not isinstance(request, dict):
+        raise JobError("request body must be a JSON object")
+    kind = request.get("kind")
+    if kind not in JOB_KINDS:
+        raise JobError(
+            f"unknown job kind {kind!r} (expected one of: {', '.join(JOB_KINDS)})"
+        )
+    priority = request.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise JobError(f"priority must be an integer, got {priority!r}")
+
+    if kind == "probe":
+        _reject_unknown(request, _PROBE_FIELDS)
+        sleep = request.get("sleep", 0.0)
+        if not isinstance(sleep, (int, float)) or isinstance(sleep, bool) or sleep < 0:
+            raise JobError(f"probe sleep must be a non-negative number, got {sleep!r}")
+        canonical = {
+            "kind": "probe",
+            "sleep": float(sleep),
+            "echo": request.get("echo"),
+            "fail": bool(request.get("fail", False)),
+        }
+        if request.get("nonce") is not None:
+            canonical["nonce"] = str(request["nonce"])
+        return canonical, priority, 1
+
+    _reject_unknown(request, _SWEEP_FIELDS)
+    from repro.scenarios.grid import ScenarioError
+    from repro.scenarios.library import apply_overrides, get_grid
+
+    grid_name = request.get("grid")
+    if not isinstance(grid_name, str) or not grid_name:
+        raise JobError("sweep request needs a 'grid' name (see `repro sweep list`)")
+    preset = request.get("preset", "fast")
+    if preset not in ("fast", "full"):
+        raise JobError(f"preset must be 'fast' or 'full', got {preset!r}")
+    overrides = request.get("overrides", [])
+    if not isinstance(overrides, list) or not all(
+        isinstance(item, str) for item in overrides
+    ):
+        raise JobError("overrides must be a list of 'AXIS=V1,V2' strings")
+    try:
+        # Resolve now so a bad grid/override bounces at submission time,
+        # not minutes later inside a worker.
+        grid = apply_overrides(get_grid(grid_name), overrides)
+    except ScenarioError as error:
+        raise JobError(str(error)) from None
+    shard = _canonical_shard(request.get("shard"))
+    if shard is not None:
+        from repro.scenarios.grid import parse_shard
+
+        _, count = parse_shard(shard)
+        cost = max(1, grid.size // count)
+    else:
+        cost = grid.size
+    canonical = {
+        "kind": "sweep",
+        "grid": grid_name,
+        "preset": preset,
+        "overrides": [item.strip() for item in overrides],
+        "shard": shard,
+        "aggregate": bool(request.get("aggregate", shard is None)),
+    }
+    return canonical, priority, cost
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+def execute(canonical: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one canonical job to completion; return its result payload.
+
+    Runs inside a shard worker process (or in-parent when the supervisor's
+    circuit breaker has degraded to serial execution).  The result carries
+    the worker-side cache-counter delta so the daemon can fold worker cache
+    behaviour into its telemetry — the same envelope idea the parallel
+    sweep executor uses.
+    """
+    before = dict(cache_stats().to_dict())
+    if canonical["kind"] == "probe":
+        result = _execute_probe(canonical)
+    else:
+        result = _execute_sweep(canonical)
+    after = cache_stats().to_dict()
+    result["cache"] = {
+        key: int(after.get(key, 0)) - int(before.get(key, 0)) for key in after
+    }
+    return result
+
+
+def _execute_probe(canonical: Dict[str, Any]) -> Dict[str, Any]:
+    if canonical["sleep"]:
+        time.sleep(canonical["sleep"])
+    if canonical["fail"]:
+        raise RuntimeError("probe requested failure")
+    return {"kind": "probe", "echo": canonical["echo"]}
+
+
+def _execute_sweep(canonical: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.common import preset_config
+    from repro.scenarios.grid import parse_shard
+    from repro.scenarios.library import apply_overrides, get_grid
+    from repro.scenarios.report import SweepSchema, aggregate, write_sweep_artifact
+    from repro.scenarios.runner import SweepRunner
+
+    grid = apply_overrides(get_grid(canonical["grid"]), canonical["overrides"])
+    config = preset_config(canonical["preset"])
+    shard = parse_shard(canonical["shard"]) if canonical["shard"] else None
+    runner = SweepRunner(grid, config)
+    # resume=True makes execution idempotent: a job retried after a worker
+    # crash (or re-run after a daemon restart) recomputes only the missing
+    # points, and the content-stable artifacts converge byte-identically.
+    report = runner.run_report(shard=shard, resume=True)
+    result: Dict[str, Any] = {
+        "kind": "sweep",
+        "grid": grid.name,
+        "label": config.label,
+        "computed": report.computed,
+        "skipped": report.skipped,
+        "quarantined": len(report.quarantined),
+        "sweep_root": str(runner.root),
+    }
+    if canonical["aggregate"]:
+        payload = aggregate(grid, config)
+        SweepSchema().validate(payload)
+        artifact = write_sweep_artifact(payload, config.cache_dir)
+        result["num_points"] = payload["num_points"]
+        result["sweep_artifact"] = str(artifact)
+    return result

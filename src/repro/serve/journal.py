@@ -1,0 +1,542 @@
+"""Durable write-ahead job queue for the ``repro serve`` daemon.
+
+Every mutation of the job table is journaled *before* it is acknowledged:
+
+* ``submit`` appends the full job record,
+* state transitions (``queued -> running -> done/failed``, requeues,
+  cancels) append compact ``state``/``done`` events,
+* every ``snapshot_every`` appends — and always on drain — the whole table
+  is compacted into an atomically-written ``snapshot.json`` and the
+  journal truncated.
+
+Layout under ``<cache_dir>/serve/``::
+
+    journal.jsonl     append-only JSONL write-ahead log (fsync'd appends)
+    snapshot.json     periodically compacted job table (atomic write)
+    endpoint.json     daemon address + pid (written by the dispatcher)
+
+Recovery replays ``snapshot.json`` then ``journal.jsonl``.  A torn trailing
+journal record — the signature of a daemon killed mid-append — is skipped
+(and counted), and the torn tail is sealed with a newline before the next
+append, so one ``kill -9`` can never corrupt later records.  Jobs that were
+``running`` when the daemon died re-enter ``queued`` and are re-dispatched;
+``done`` jobs keep their results.
+
+Robustness policy:
+
+* **Admission control** — at most ``max_depth`` queued jobs; beyond that
+  :meth:`JobQueue.submit` raises :class:`QueueFullError` carrying a
+  ``retry_after_seconds`` hint instead of queueing unboundedly.
+* **Deduplication** — a job's identity is the content key of its canonical
+  request.  Re-submitting an identical request coalesces onto the queued /
+  in-flight job, or returns the completed job's result outright: a million
+  identical submissions cost one simulation.
+* **Journal append failure** (including the injected ``serve.journal:torn``
+  fault) — the snapshot is the recovery path: the full table is compacted
+  on the spot, which also truncates (seals) the damaged journal.  Only if
+  *that* write fails too does a submission bounce back to the client.
+
+The queue is thread-safe: HTTP handler threads submit/cancel/inspect while
+the dispatcher thread transitions states.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.runtime import faults
+from repro.runtime.cache import atomic_write_json, content_key
+
+SERVE_FORMAT_VERSION = 1
+
+JOURNAL_NAME = "journal.jsonl"
+SNAPSHOT_NAME = "snapshot.json"
+
+#: Default admission-control bound on the number of *queued* jobs.
+DEFAULT_MAX_DEPTH = 64
+#: Default number of journal appends between snapshot compactions.
+DEFAULT_SNAPSHOT_EVERY = 64
+
+#: Job states.  ``queued`` and ``running`` are live; the rest are terminal
+#: (a terminal job can be revived by re-submitting its request).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+
+class QueueFullError(RuntimeError):
+    """Admission control rejected a submission; retry after a backoff."""
+
+    def __init__(self, depth: int, max_depth: int, retry_after_seconds: float) -> None:
+        super().__init__(
+            f"job queue is full ({depth} queued >= limit {max_depth}) — "
+            f"retry in {retry_after_seconds:.1f}s"
+        )
+        self.depth = depth
+        self.max_depth = max_depth
+        self.retry_after_seconds = retry_after_seconds
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "error": "queue-full",
+            "message": str(self),
+            "depth": self.depth,
+            "max_depth": self.max_depth,
+            "retry_after_seconds": self.retry_after_seconds,
+        }
+
+
+def job_id_for(canonical: Dict[str, Any]) -> str:
+    """The deduplicating job identity: the content key of the request."""
+    return f"job-{content_key(canonical)[:16]}"
+
+
+@dataclass
+class Job:
+    """One submitted request and everything the service knows about it."""
+
+    id: str
+    key: str
+    request: Dict[str, Any]
+    priority: int = 0
+    cost: int = 1
+    seq: int = 0
+    state: str = QUEUED
+    attempts: int = 0
+    worker: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    #: How many submissions coalesced onto this job (advisory, not journaled
+    #: per hit — a million dedup hits must not grow the journal).
+    submissions: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "key": self.key,
+            "request": self.request,
+            "priority": self.priority,
+            "cost": self.cost,
+            "seq": self.seq,
+            "state": self.state,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "result": self.result,
+            "error": self.error,
+            "submissions": self.submissions,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Job":
+        known = {name: payload.get(name) for name in (
+            "id", "key", "request", "priority", "cost", "seq", "state",
+            "attempts", "worker", "result", "error", "submissions",
+        )}
+        if known["submissions"] is None:
+            known["submissions"] = 1
+        return cls(**known)
+
+    @property
+    def live(self) -> bool:
+        return self.state in (QUEUED, RUNNING)
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`JobQueue.recover` found on disk."""
+
+    snapshot_loaded: bool = False
+    journal_records: int = 0
+    torn_records: int = 0
+    sealed_tail: bool = False
+    requeued: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        parts = [
+            f"snapshot {'loaded' if self.snapshot_loaded else 'absent'}",
+            f"{self.journal_records} journal records",
+        ]
+        if self.torn_records:
+            parts.append(f"{self.torn_records} torn records skipped")
+        if self.sealed_tail:
+            parts.append("torn tail sealed")
+        if self.requeued:
+            parts.append(f"{len(self.requeued)} in-flight jobs requeued")
+        return ", ".join(parts)
+
+
+class JobQueue:
+    """The durable, thread-safe job table behind the serve daemon."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        fsync: bool = True,
+    ) -> None:
+        self.root = Path(root)
+        self.max_depth = max(1, int(max_depth))
+        self.snapshot_every = max(1, int(snapshot_every))
+        self._fsync = fsync
+        self._lock = threading.RLock()
+        self.jobs: Dict[str, Job] = {}
+        self._next_seq = 0
+        self._appends_since_snapshot = 0
+        self._handle = None
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.recovery = self.recover()
+        self._open_journal()
+
+    # -- paths -------------------------------------------------------------------
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / JOURNAL_NAME
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.root / SNAPSHOT_NAME
+
+    # -- recovery ----------------------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Rebuild the job table from snapshot + journal (tolerant replay)."""
+        report = RecoveryReport()
+        self.jobs = {}
+        self._next_seq = 0
+        snapshot = self._load_snapshot()
+        if snapshot is not None:
+            report.snapshot_loaded = True
+            for payload in snapshot.get("jobs", []):
+                job = Job.from_dict(payload)
+                self.jobs[job.id] = job
+            self._next_seq = int(snapshot.get("seq", 0))
+        try:
+            raw = self.journal_path.read_bytes()
+        except FileNotFoundError:
+            raw = b""
+        except OSError as error:
+            warnings.warn(
+                f"serve journal {self.journal_path} is unreadable ({error}) — "
+                f"recovering from the snapshot alone",
+                RuntimeWarning,
+            )
+            raw = b""
+        if raw and not raw.endswith(b"\n"):
+            report.sealed_tail = True
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if not isinstance(record, dict):
+                    raise ValueError("journal record is not an object")
+            except (ValueError, UnicodeDecodeError):
+                report.torn_records += 1
+                continue
+            self._apply(record)
+            report.journal_records += 1
+        for job in self.jobs.values():
+            self._next_seq = max(self._next_seq, job.seq + 1)
+            if job.state == RUNNING:
+                # The daemon died with this job in flight: its worker is
+                # gone, so it re-enters the queue for re-dispatch.  The
+                # attempt it was on is not charged — the job never failed.
+                job.state = QUEUED
+                job.worker = None
+                report.requeued.append(job.id)
+        return report
+
+    def _load_snapshot(self) -> Optional[Dict[str, Any]]:
+        try:
+            document = json.loads(self.snapshot_path.read_text())
+            if document.get("format_version") != SERVE_FORMAT_VERSION:
+                raise ValueError("unsupported snapshot format")
+            return document
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, AttributeError):
+            # Snapshots are written atomically, so a corrupt one means
+            # something outside the daemon damaged it; the journal since the
+            # last truncation is all that can be replayed.
+            warnings.warn(
+                f"serve snapshot {self.snapshot_path} is corrupt — "
+                f"recovering from the journal alone",
+                RuntimeWarning,
+            )
+            return None
+
+    def _apply(self, record: Dict[str, Any]) -> None:
+        """Apply one journal record to the in-memory table (replay)."""
+        event = record.get("event")
+        if event == "submit":
+            job = Job.from_dict(record.get("job", {}))
+            if job.id:
+                self.jobs[job.id] = job
+            return
+        job = self.jobs.get(record.get("id", ""))
+        if job is None:
+            return  # transition for a job the snapshot compacted away
+        if event == "state":
+            state = record.get("state")
+            if state in JOB_STATES:
+                job.state = state
+            job.attempts = int(record.get("attempts", job.attempts))
+            job.worker = record.get("worker")
+            if record.get("error") is not None:
+                job.error = record.get("error")
+        elif event == "done":
+            job.state = DONE
+            job.worker = None
+            job.error = None
+            job.result = record.get("result")
+
+    # -- journal -----------------------------------------------------------------
+
+    def _open_journal(self) -> None:
+        seal = False
+        try:
+            raw = self.journal_path.read_bytes()
+            seal = bool(raw) and not raw.endswith(b"\n")
+        except OSError:
+            pass
+        self._handle = open(self.journal_path, "ab")
+        if seal:
+            # A torn tail (daemon killed mid-append) must not swallow the
+            # next record: terminate it so replay skips exactly one line.
+            self._handle.write(b"\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        data = (
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        if faults.take_action("serve.journal") == "torn":
+            # Simulate a daemon killed mid-append: half the bytes land, no
+            # newline, and the append "never returned".
+            self._handle.write(data[: max(1, len(data) // 2)])
+            self._handle.flush()
+            raise faults.FaultInjectedError("injected torn journal append")
+        self._handle.write(data)
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+        self._appends_since_snapshot += 1
+        if self._appends_since_snapshot >= self.snapshot_every:
+            self._snapshot_locked()
+
+    def _journal(self, record: Dict[str, Any], critical: bool = False) -> None:
+        """Append a record; on failure, compact a snapshot instead.
+
+        The snapshot rewrites the whole table atomically and truncates the
+        (possibly torn) journal, so the mutation is durable even though the
+        append was not.  ``critical`` appends (submissions, whose ack is a
+        durability promise) re-raise when even the snapshot fails.
+        """
+        try:
+            self._append(record)
+        except OSError as error:
+            warnings.warn(
+                f"serve journal append failed ({error}) — compacting a "
+                f"snapshot to preserve durability",
+                RuntimeWarning,
+            )
+            try:
+                self._snapshot_locked()
+            except OSError:
+                if critical:
+                    raise
+
+    def snapshot(self) -> Path:
+        """Compact the job table into ``snapshot.json``; truncate the journal."""
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> Path:
+        payload = {
+            "format_version": SERVE_FORMAT_VERSION,
+            "kind": "serve-queue-snapshot",
+            "seq": self._next_seq,
+            "jobs": [job.to_dict() for job in self._ordered_jobs()],
+        }
+        path = atomic_write_json(self.snapshot_path, payload, indent=2)
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+        self._handle = open(self.journal_path, "wb")
+        self._appends_since_snapshot = 0
+        return path
+
+    # -- submission / admission ----------------------------------------------------
+
+    def submit(
+        self,
+        canonical: Dict[str, Any],
+        priority: int = 0,
+        cost: int = 1,
+    ) -> Tuple[Job, bool]:
+        """Admit a canonical request; returns ``(job, created)``.
+
+        ``created`` is False when the submission coalesced onto an existing
+        queued/running job or a completed result (the dedup paths).  A
+        failed or cancelled job is revived: same identity, fresh attempts.
+        """
+        with self._lock:
+            key = content_key(canonical)
+            job_id = job_id_for(canonical)
+            existing = self.jobs.get(job_id)
+            if existing is not None and existing.state in (QUEUED, RUNNING, DONE):
+                existing.submissions += 1
+                return existing, False
+            depth = self.depth()
+            if depth >= self.max_depth:
+                raise QueueFullError(
+                    depth, self.max_depth, retry_after_seconds=max(1.0, float(depth))
+                )
+            if existing is not None:
+                existing.state = QUEUED
+                existing.attempts = 0
+                existing.error = None
+                existing.result = None
+                existing.worker = None
+                existing.priority = int(priority)
+                existing.submissions += 1
+                self._journal(
+                    {"event": "submit", "job": existing.to_dict()}, critical=True
+                )
+                return existing, True
+            job = Job(
+                id=job_id,
+                key=key,
+                request=canonical,
+                priority=int(priority),
+                cost=max(1, int(cost)),
+                seq=self._next_seq,
+            )
+            self._next_seq += 1
+            self.jobs[job.id] = job
+            self._journal({"event": "submit", "job": job.to_dict()}, critical=True)
+            return job, True
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def next_job(self) -> Optional[Job]:
+        """The next queued job: priority first, then shortest-job backfill.
+
+        Ordering is ``(-priority, cost, seq)`` — the highest priority class
+        runs first; within a class, cheap jobs backfill ahead of expensive
+        ones (an HPC-scheduler courtesy that keeps interactive probes
+        flowing past thousand-point sweeps); submission order breaks ties
+        deterministically.
+        """
+        with self._lock:
+            queued = [job for job in self.jobs.values() if job.state == QUEUED]
+            if not queued:
+                return None
+            return min(queued, key=lambda job: (-job.priority, job.cost, job.seq))
+
+    # -- transitions ---------------------------------------------------------------
+
+    def mark_running(self, job: Job, worker: str) -> None:
+        with self._lock:
+            job.state = RUNNING
+            job.worker = worker
+            job.attempts += 1
+            self._journal_state(job)
+
+    def mark_done(self, job: Job, result: Optional[Dict[str, Any]]) -> None:
+        with self._lock:
+            job.state = DONE
+            job.worker = None
+            job.error = None
+            job.result = result
+            self._journal({"event": "done", "id": job.id, "result": result})
+
+    def mark_failed(self, job: Job, error: str) -> None:
+        with self._lock:
+            job.state = FAILED
+            job.worker = None
+            job.error = error
+            self._journal_state(job)
+
+    def requeue(self, job: Job) -> None:
+        """Return a dispatched/in-flight job to the queue (worker lost)."""
+        with self._lock:
+            job.state = QUEUED
+            job.worker = None
+            self._journal_state(job)
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Cancel a queued job; returns it, or ``None`` when not cancellable."""
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None or job.state != QUEUED:
+                return None
+            job.state = CANCELLED
+            self._journal_state(job)
+            return job
+
+    def _journal_state(self, job: Job) -> None:
+        self._journal(
+            {
+                "event": "state",
+                "id": job.id,
+                "state": job.state,
+                "attempts": job.attempts,
+                "worker": job.worker,
+                "error": job.error,
+            }
+        )
+
+    # -- inspection ----------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self.jobs.get(job_id)
+
+    def depth(self) -> int:
+        """Queued jobs only — the quantity admission control bounds."""
+        with self._lock:
+            return sum(job.state == QUEUED for job in self.jobs.values())
+
+    def running(self) -> List[Job]:
+        with self._lock:
+            return [job for job in self._ordered_jobs() if job.state == RUNNING]
+
+    def _ordered_jobs(self) -> List[Job]:
+        return sorted(self.jobs.values(), key=lambda job: job.seq)
+
+    def list_jobs(self) -> List[Job]:
+        with self._lock:
+            return self._ordered_jobs()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {state: 0 for state in JOB_STATES}
+            for job in self.jobs.values():
+                counts[job.state] += 1
+            counts["total"] = len(self.jobs)
+            counts["max_depth"] = self.max_depth
+            return counts

@@ -1,0 +1,366 @@
+"""Supervised shard-worker pool for the serve daemon.
+
+The supervisor owns ``pool_size`` worker *processes*.  Each worker has its
+own task queue (so the supervisor always knows which job died with which
+worker) and all workers share one event queue carrying results and
+heartbeats back to the daemon:
+
+* a **heartbeat thread** inside every worker beats every
+  ``heartbeat_interval`` seconds, even while a job runs;
+* the supervisor's :meth:`Supervisor.pump` — called from the dispatcher
+  loop — drains events, **detects hung workers** (job past its deadline,
+  or heartbeat stale: a live-but-wedged process) and **reaps** them
+  (SIGKILL via ``Process.kill``), reporting the in-flight job as *lost* so
+  the dispatcher can requeue it;
+* dead or reaped workers are **restarted with bounded backoff**; when more
+  than ``max_restarts`` restarts land inside ``restart_window`` seconds the
+  **circuit breaker** opens: no further processes are spawned and the
+  dispatcher degrades to serial in-parent execution — a service that keeps
+  crashing its children stops forking and limps along correctly instead.
+
+Workers are spawned (not forked): the daemon runs HTTP handler threads,
+and forking a multi-threaded parent is a deadlock lottery.
+
+Fault injection: the ``serve.worker`` site's budget is consumed by the
+*dispatcher* (parent side) and the chosen action ships inside the task
+message, so a restarted worker does not re-read the environment and
+re-fire the same fault — exactly one dispatch crashes/stalls/errors per
+budgeted count, which is what makes chaos runs deterministic.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.telemetry import record_serve
+from repro.runtime.faults import CRASH_EXIT_STATUS, FaultInjectedError
+
+#: How long an injected stall sleeps — far past any sane job deadline, so
+#: the supervisor's hung-worker detection is what ends it.
+STALL_SECONDS = 10_000.0
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+
+def _worker_main(
+    worker_name: str,
+    task_queue: "mp.Queue",
+    event_queue: "mp.Queue",
+    heartbeat_interval: float,
+) -> None:
+    """Worker loop: heartbeat in the background, execute tasks until told
+    to stop (``None`` sentinel)."""
+    from repro.serve import jobs
+
+    stop_beating = threading.Event()
+
+    def _beat() -> None:
+        while not stop_beating.is_set():
+            try:
+                event_queue.put({"type": "heartbeat", "worker": worker_name})
+            except (OSError, ValueError):  # queue torn down under us
+                return
+            stop_beating.wait(heartbeat_interval)
+
+    beater = threading.Thread(target=_beat, daemon=True, name=f"{worker_name}-heartbeat")
+    beater.start()
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                return
+            action = task.get("action")
+            if action == "crash":
+                # An injected hard crash: no cleanup, no goodbye — the
+                # supervisor must notice from the exit code alone.
+                os._exit(CRASH_EXIT_STATUS)
+            if action == "stall":
+                # A wedged worker: heartbeats keep flowing (the beater
+                # thread lives), so only the job deadline can catch it.
+                time.sleep(STALL_SECONDS)
+            try:
+                if action == "oserror":
+                    raise FaultInjectedError("injected serve worker oserror")
+                result = jobs.execute(task["request"])
+                event = {
+                    "type": "result",
+                    "worker": worker_name,
+                    "job_id": task["job_id"],
+                    "ok": True,
+                    "result": result,
+                }
+            except BaseException as error:  # noqa: BLE001 — report, don't die
+                event = {
+                    "type": "result",
+                    "worker": worker_name,
+                    "job_id": task["job_id"],
+                    "ok": False,
+                    "error": f"{type(error).__name__}: {error}",
+                    "retryable": isinstance(error, OSError),
+                }
+            event_queue.put(event)
+    finally:
+        stop_beating.set()
+
+
+# ---------------------------------------------------------------------------
+# supervisor
+# ---------------------------------------------------------------------------
+
+@dataclass
+class JobEvent:
+    """One job outcome surfaced by :meth:`Supervisor.pump`.
+
+    ``kind`` is ``done`` (result attached), ``failed`` (worker reported an
+    error; ``retryable`` distinguishes transient OS-level failures from
+    deterministic job bugs) or ``lost`` (the worker died or was reaped with
+    the job in flight — always worth a requeue).
+    """
+
+    kind: str
+    job_id: str
+    worker: str
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    retryable: bool = True
+
+
+@dataclass
+class _Worker:
+    name: str
+    process: "mp.process.BaseProcess"
+    task_queue: "mp.Queue"
+    job_id: Optional[str] = None
+    dispatched_at: float = 0.0
+    deadline: Optional[float] = None
+    last_heartbeat: float = field(default_factory=time.monotonic)
+
+    @property
+    def busy(self) -> bool:
+        return self.job_id is not None
+
+
+class Supervisor:
+    """Owns the worker pool; the dispatcher drives it via :meth:`pump`."""
+
+    def __init__(
+        self,
+        pool_size: int = 2,
+        job_timeout: Optional[float] = 120.0,
+        heartbeat_interval: float = 0.2,
+        heartbeat_timeout: float = 5.0,
+        max_restarts: int = 4,
+        restart_window: float = 60.0,
+        backoff_base: float = 0.1,
+    ) -> None:
+        self.pool_size = max(1, int(pool_size))
+        self.job_timeout = job_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_restarts = max(0, int(max_restarts))
+        self.restart_window = restart_window
+        self.backoff_base = backoff_base
+        self._context = mp.get_context("spawn")
+        self.event_queue: "mp.Queue" = self._context.Queue()
+        self._workers: Dict[str, _Worker] = {}
+        self._next_worker = 0
+        self._restart_times: List[float] = []
+        self._restart_not_before = 0.0
+        self.breaker_open = False
+        self.restarts = 0
+        self.reaped = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        for _ in range(self.pool_size):
+            self._spawn()
+
+    def _spawn(self) -> None:
+        name = f"w{self._next_worker}"
+        self._next_worker += 1
+        task_queue: "mp.Queue" = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(name, task_queue, self.event_queue, self.heartbeat_interval),
+            name=f"repro-serve-{name}",
+            daemon=True,
+        )
+        process.start()
+        self._workers[name] = _Worker(name=name, process=process, task_queue=task_queue)
+
+    def stop(self, graceful_timeout: float = 2.0) -> None:
+        """Shut the pool down: sentinel first, then escalate to kill."""
+        for worker in self._workers.values():
+            if worker.process.is_alive() and not worker.busy:
+                try:
+                    worker.task_queue.put(None)
+                except (OSError, ValueError):
+                    pass
+        deadline = time.monotonic() + graceful_timeout
+        for worker in self._workers.values():
+            remaining = max(0.0, deadline - time.monotonic())
+            worker.process.join(remaining)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(1.0)
+        self._workers.clear()
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def idle_workers(self) -> List[str]:
+        return [
+            name
+            for name, worker in self._workers.items()
+            if not worker.busy and worker.process.is_alive()
+        ]
+
+    def alive_workers(self) -> int:
+        return sum(worker.process.is_alive() for worker in self._workers.values())
+
+    def busy_jobs(self) -> List[str]:
+        return [worker.job_id for worker in self._workers.values() if worker.busy]
+
+    def dispatch(
+        self,
+        job_id: str,
+        request: Dict[str, Any],
+        action: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> str:
+        """Hand a job to an idle worker; returns the worker name."""
+        idle = self.idle_workers()
+        if not idle:
+            raise RuntimeError("no idle worker available")
+        name = idle[0]
+        worker = self._workers[name]
+        now = time.monotonic()
+        worker.job_id = job_id
+        worker.dispatched_at = now
+        job_timeout = timeout if timeout is not None else self.job_timeout
+        worker.deadline = (now + job_timeout) if job_timeout else None
+        worker.last_heartbeat = now
+        worker.task_queue.put({"job_id": job_id, "request": request, "action": action})
+        return name
+
+    # -- monitoring ---------------------------------------------------------------
+
+    def pump(self, timeout: float = 0.05) -> List[JobEvent]:
+        """Drain worker events; detect and reap hung/dead workers; restart.
+
+        Returns the job outcomes accumulated since the last call.  Cheap to
+        call in a tight loop — ``timeout`` bounds how long it blocks waiting
+        for the first event.
+        """
+        events: List[JobEvent] = []
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            try:
+                message = self.event_queue.get(timeout=max(0.0, remaining))
+            except queue_module.Empty:
+                break
+            self._on_message(message, events)
+            if time.monotonic() >= deadline:
+                break
+        self._check_workers(events)
+        return events
+
+    def _on_message(self, message: Dict[str, Any], events: List[JobEvent]) -> None:
+        worker = self._workers.get(message.get("worker", ""))
+        if worker is not None:
+            worker.last_heartbeat = time.monotonic()
+        if message.get("type") != "result" or worker is None:
+            return
+        job_id = message.get("job_id")
+        if worker.job_id != job_id:
+            return  # a reaped-and-requeued job's late echo; the requeue won
+        worker.job_id = None
+        worker.deadline = None
+        if message.get("ok"):
+            events.append(JobEvent("done", job_id, worker.name, result=message.get("result")))
+        else:
+            events.append(
+                JobEvent(
+                    "failed",
+                    job_id,
+                    worker.name,
+                    error=message.get("error"),
+                    retryable=bool(message.get("retryable", False)),
+                )
+            )
+
+    def _check_workers(self, events: List[JobEvent]) -> None:
+        now = time.monotonic()
+        for worker in list(self._workers.values()):
+            if not worker.process.is_alive():
+                self._on_worker_loss(worker, events, reason="died")
+                continue
+            if not worker.busy:
+                continue
+            hung = (worker.deadline is not None and now > worker.deadline) or (
+                now - worker.last_heartbeat > self.heartbeat_timeout
+            )
+            if hung:
+                worker.process.kill()
+                worker.process.join(1.0)
+                self.reaped += 1
+                record_serve("workers_reaped")
+                self._on_worker_loss(worker, events, reason="hung")
+
+    def _on_worker_loss(
+        self, worker: _Worker, events: List[JobEvent], reason: str
+    ) -> None:
+        if worker.busy:
+            events.append(
+                JobEvent(
+                    "lost",
+                    worker.job_id,
+                    worker.name,
+                    error=f"worker {worker.name} {reason} "
+                    f"(exit status {worker.process.exitcode})",
+                )
+            )
+        del self._workers[worker.name]
+        self._maybe_restart()
+
+    def _maybe_restart(self) -> None:
+        """Restart a lost worker, bounded by backoff and the breaker."""
+        if self.breaker_open:
+            return
+        now = time.monotonic()
+        self._restart_times = [
+            stamp for stamp in self._restart_times if now - stamp < self.restart_window
+        ]
+        if len(self._restart_times) >= self.max_restarts:
+            self.breaker_open = True
+            record_serve("breaker_opens")
+            return
+        if now < self._restart_not_before:
+            return  # backing off; the next pump retries
+        if len(self._workers) >= self.pool_size:
+            return
+        backoff = self.backoff_base * (2 ** len(self._restart_times))
+        self._restart_times.append(now)
+        self._restart_not_before = now + backoff
+        self.restarts += 1
+        record_serve("worker_restarts")
+        self._spawn()
+
+    def heal(self) -> None:
+        """Top the pool back up (called between pumps when below size)."""
+        if self.breaker_open:
+            return
+        while len(self._workers) < self.pool_size:
+            before = len(self._workers)
+            self._maybe_restart()
+            if len(self._workers) == before:
+                break

@@ -275,3 +275,94 @@ class TestCacheKeyHygiene:
         short_result = run_scheme_on_kernel("gto", sweep_spec, short)
         long_result = run_scheme_on_kernel("gto", sweep_spec, long)
         assert short_result.counters.cycles < long_result.counters.cycles
+
+
+def _touch_disk_cache(cache_dir, index):
+    """Pool job that misses, stores, then hits the disk cache once each."""
+    cache = DiskCache(cache_dir, subdir="worker-cache-test")
+    payload = {"index": index}
+    assert cache.load(payload) is None  # miss
+    cache.store(payload, {"value": index})  # store
+    assert cache.load(payload) == {"value": index}  # hit
+    return index
+
+
+class TestEnvNumber:
+    """The shared warn-once environment-number parser (env_number)."""
+
+    def test_absent_and_blank_fall_back(self, monkeypatch):
+        from repro.runtime.executor import env_number
+
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert env_number("REPRO_TEST_KNOB", float, 1.5, "default") == 1.5
+        monkeypatch.setenv("REPRO_TEST_KNOB", "   ")
+        assert env_number("REPRO_TEST_KNOB", float, 1.5, "default") == 1.5
+
+    def test_valid_value_is_cast(self, monkeypatch):
+        from repro.runtime.executor import env_number
+
+        monkeypatch.setenv("REPRO_TEST_KNOB", "7")
+        assert env_number("REPRO_TEST_KNOB", int, 0, "default") == 7
+
+    def test_invalid_value_warns_once_and_falls_back(self, monkeypatch):
+        from repro.runtime import executor as executor_module
+        from repro.runtime.executor import env_number
+
+        monkeypatch.setattr(executor_module, "_warned_env", set())
+        monkeypatch.setenv("REPRO_TEST_KNOB", "lots")
+        with pytest.warns(RuntimeWarning, match="REPRO_TEST_KNOB='lots'"):
+            assert env_number("REPRO_TEST_KNOB", int, 3, "the default of 3") == 3
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert env_number("REPRO_TEST_KNOB", int, 3, "the default of 3") == 3
+
+    def test_timeout_retries_backoff_share_the_parser(self, monkeypatch):
+        from repro.runtime import executor as executor_module
+        from repro.runtime.executor import (
+            resolve_backoff,
+            resolve_retries,
+            resolve_timeout,
+        )
+
+        monkeypatch.setattr(executor_module, "_warned_env", set())
+        monkeypatch.setenv("REPRO_TIMEOUT", "forever")
+        monkeypatch.setenv("REPRO_RETRIES", "many")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "soon")
+        with pytest.warns(RuntimeWarning) as caught:
+            assert resolve_timeout() is None
+            assert resolve_retries() == 2
+            assert resolve_backoff() == 0.05
+        names = {str(warning.message).split("=")[0] for warning in caught}
+        assert names == {"REPRO_TIMEOUT", "REPRO_RETRIES", "REPRO_RETRY_BACKOFF"}
+        # Semantics preserved: non-positive timeout means "no timeout",
+        # negative retries clamp to zero.
+        monkeypatch.setenv("REPRO_TIMEOUT", "0")
+        assert resolve_timeout() is None
+        monkeypatch.setenv("REPRO_RETRIES", "-3")
+        assert resolve_retries() == 0
+
+
+class TestWorkerCacheTelemetry:
+    """Pool workers ship their cache-counter deltas home (JobReport.worker_cache)."""
+
+    def test_parallel_map_merges_worker_cache_deltas(self, tmp_path):
+        executor = SweepExecutor(jobs=2)
+        results = executor.map(
+            _touch_disk_cache, [(str(tmp_path), index) for index in range(4)]
+        )
+        assert results == [0, 1, 2, 3]
+        worker_cache = executor.last_report.worker_cache
+        assert worker_cache is not None
+        # Each of the 4 jobs: one miss, one store, one hit — summed across
+        # however many worker processes they landed on.
+        assert worker_cache["misses"] == 4
+        assert worker_cache["stores"] == 4
+        assert worker_cache["hits"] == 4
+        assert executor.last_report.to_dict()["worker_cache"] == worker_cache
+
+    def test_serial_run_one_reports_no_worker_cache(self, tmp_path):
+        executor = SweepExecutor(jobs=1)
+        executor.run_one(_touch_disk_cache, (str(tmp_path), 99))
+        # Serial execution happens in-parent: the global counters already
+        # saw it, so an envelope would double-count.
+        assert executor.last_report.worker_cache in (None, {})

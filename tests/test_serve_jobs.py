@@ -1,0 +1,127 @@
+"""Tests for the serve job vocabulary: validation, canonical identity,
+probe execution and the worker-side cache envelope."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.cache import content_key
+from repro.serve import jobs
+from repro.serve.jobs import JobError, canonicalize, execute
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+def test_non_object_request_rejected():
+    with pytest.raises(JobError, match="JSON object"):
+        canonicalize(["not", "a", "dict"])
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(JobError, match="unknown job kind"):
+        canonicalize({"kind": "mine-bitcoin"})
+
+
+def test_unknown_fields_rejected():
+    with pytest.raises(JobError, match="unknown request field"):
+        canonicalize({"kind": "probe", "sleep": 0, "bogus": 1})
+
+
+def test_bad_priority_rejected():
+    with pytest.raises(JobError, match="priority"):
+        canonicalize({"kind": "probe", "priority": "high"})
+
+
+def test_negative_sleep_rejected():
+    with pytest.raises(JobError, match="sleep"):
+        canonicalize({"kind": "probe", "sleep": -1})
+
+
+def test_unknown_grid_rejected_at_submission_time():
+    with pytest.raises(JobError, match="grid"):
+        canonicalize({"kind": "sweep", "grid": "no-such-grid"})
+
+
+def test_malformed_override_rejected_at_submission_time():
+    with pytest.raises(JobError, match="override"):
+        canonicalize({"kind": "sweep", "grid": "smoke", "overrides": ["oops"]})
+
+
+def test_malformed_shard_rejected():
+    with pytest.raises(JobError, match="shard"):
+        canonicalize({"kind": "sweep", "grid": "smoke", "shard": "3of4"})
+
+
+# ---------------------------------------------------------------------------
+# canonical identity
+# ---------------------------------------------------------------------------
+
+def test_priority_is_not_part_of_the_identity():
+    low, low_priority, _ = canonicalize({"kind": "probe", "echo": "x", "priority": 0})
+    high, high_priority, _ = canonicalize({"kind": "probe", "echo": "x", "priority": 9})
+    assert content_key(low) == content_key(high)
+    assert (low_priority, high_priority) == (0, 9)
+
+
+def test_probe_defaults_are_made_explicit():
+    canonical, _, cost = canonicalize({"kind": "probe"})
+    assert canonical == {"kind": "probe", "sleep": 0.0, "echo": None, "fail": False}
+    assert cost == 1
+
+
+def test_nonce_distinguishes_otherwise_identical_probes():
+    plain, _, _ = canonicalize({"kind": "probe", "echo": "x"})
+    nonced, _, _ = canonicalize({"kind": "probe", "echo": "x", "nonce": "1"})
+    assert content_key(plain) != content_key(nonced)
+
+
+def test_sweep_cost_is_the_point_count():
+    full, _, full_cost = canonicalize({"kind": "sweep", "grid": "smoke"})
+    sharded, _, shard_cost = canonicalize(
+        {"kind": "sweep", "grid": "smoke", "shard": "1/2"}
+    )
+    assert full_cost == 8  # the smoke grid is 2x2x2
+    assert shard_cost == 4
+    assert full["aggregate"] is True  # default: unsharded runs aggregate
+    assert sharded["aggregate"] is False  # a shard alone must not aggregate
+    assert sharded["shard"] == "1/2"
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+def test_probe_executes_and_carries_cache_delta():
+    canonical, _, _ = canonicalize({"kind": "probe", "echo": {"deep": [1, 2]}})
+    result = execute(canonical)
+    assert result["echo"] == {"deep": [1, 2]}
+    assert set(result["cache"]) >= {"hits", "misses", "stores"}
+
+
+def test_probe_failure_raises():
+    canonical, _, _ = canonicalize({"kind": "probe", "fail": True})
+    with pytest.raises(RuntimeError, match="probe requested failure"):
+        execute(canonical)
+
+
+def test_sweep_job_runs_resumable_and_aggregates(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    canonical, _, cost = canonicalize(
+        {
+            "kind": "sweep",
+            "grid": "smoke",
+            "preset": "fast",
+            "overrides": ["engine=fast", "scheme=gto", "benchmark=gather"],
+        }
+    )
+    assert cost == 1
+    result = execute(canonical)
+    assert result["computed"] == 1
+    assert result["num_points"] == 1
+    assert "sweep_artifact" in result
+    # Idempotence: a retry (worker crash, daemon restart) recomputes nothing.
+    again = execute(canonical)
+    assert again["computed"] == 0
+    assert again["skipped"] == 1

@@ -1,0 +1,134 @@
+"""Tests for the supervised worker pool: heartbeats, reaping, restarts and
+the circuit breaker, with real (spawned) worker processes."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serve.supervisor import Supervisor
+
+
+def pump_until(supervisor, predicate, timeout=30.0):
+    """Pump the supervisor until ``predicate(events_so_far)`` or timeout."""
+    events = []
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        events.extend(supervisor.pump(timeout=0.1))
+        if predicate(events):
+            return events
+        supervisor.heal()
+    raise AssertionError(f"condition not met within {timeout}s; events: {events}")
+
+
+@pytest.fixture
+def supervisor():
+    supervisor = Supervisor(
+        pool_size=1,
+        job_timeout=15.0,
+        heartbeat_interval=0.1,
+        heartbeat_timeout=5.0,
+        max_restarts=4,
+        restart_window=60.0,
+        backoff_base=0.05,
+    )
+    supervisor.start()
+    yield supervisor
+    supervisor.stop()
+
+
+def probe_request(tag, sleep=0.0):
+    return {"kind": "probe", "sleep": sleep, "echo": tag, "fail": False}
+
+
+def test_dispatch_returns_result_event(supervisor):
+    supervisor.dispatch("job-1", probe_request("hello"))
+    events = pump_until(supervisor, lambda seen: any(e.kind == "done" for e in seen))
+    done = next(e for e in events if e.kind == "done")
+    assert done.job_id == "job-1"
+    assert done.result["echo"] == "hello"
+    assert supervisor.idle_workers()  # the worker is reusable
+
+
+def test_worker_failure_is_reported_not_fatal(supervisor):
+    supervisor.dispatch("job-f", {"kind": "probe", "sleep": 0.0, "echo": None, "fail": True})
+    events = pump_until(supervisor, lambda seen: any(e.kind == "failed" for e in seen))
+    failed = next(e for e in events if e.kind == "failed")
+    assert "probe requested failure" in failed.error
+    assert not failed.retryable  # a deterministic job bug, not a transient
+    assert supervisor.alive_workers() == 1
+
+
+def test_injected_oserror_is_retryable(supervisor):
+    supervisor.dispatch("job-os", probe_request("x"), action="oserror")
+    events = pump_until(supervisor, lambda seen: any(e.kind == "failed" for e in seen))
+    failed = next(e for e in events if e.kind == "failed")
+    assert failed.retryable
+    assert "FaultInjectedError" in failed.error
+
+
+def test_crashed_worker_is_lost_and_restarted(supervisor):
+    supervisor.dispatch("job-c", probe_request("x"), action="crash")
+    events = pump_until(supervisor, lambda seen: any(e.kind == "lost" for e in seen))
+    lost = next(e for e in events if e.kind == "lost")
+    assert lost.job_id == "job-c"
+    assert "86" in lost.error  # CRASH_EXIT_STATUS surfaces in the report
+    # The pool heals: a fresh worker appears and takes the requeued job.
+    pump_until(supervisor, lambda _seen: supervisor.idle_workers(), timeout=30.0)
+    assert supervisor.restarts == 1
+    supervisor.dispatch("job-after", probe_request("again"))
+    events = pump_until(supervisor, lambda seen: any(e.kind == "done" for e in seen))
+    assert any(e.job_id == "job-after" for e in events)
+
+
+def test_stalled_worker_is_reaped_via_job_deadline():
+    supervisor = Supervisor(
+        pool_size=1,
+        job_timeout=1.0,  # the stall sleeps forever; the deadline reaps it
+        heartbeat_interval=0.1,
+        heartbeat_timeout=30.0,  # heartbeats stay healthy during a stall
+        max_restarts=4,
+        backoff_base=0.05,
+    )
+    supervisor.start()
+    try:
+        supervisor.dispatch("job-s", probe_request("x"), action="stall")
+        events = pump_until(
+            supervisor, lambda seen: any(e.kind == "lost" for e in seen), timeout=40.0
+        )
+        lost = next(e for e in events if e.kind == "lost")
+        assert lost.job_id == "job-s"
+        assert "hung" in lost.error
+        assert supervisor.reaped == 1
+    finally:
+        supervisor.stop()
+
+
+def test_circuit_breaker_opens_after_bounded_restarts():
+    supervisor = Supervisor(
+        pool_size=1,
+        job_timeout=15.0,
+        heartbeat_interval=0.1,
+        max_restarts=2,
+        restart_window=60.0,
+        backoff_base=0.01,
+    )
+    supervisor.start()
+    try:
+        crashes = 0
+        deadline = time.monotonic() + 60.0
+        while not supervisor.breaker_open and time.monotonic() < deadline:
+            supervisor.heal()
+            if supervisor.idle_workers():
+                supervisor.dispatch(f"job-{crashes}", probe_request("x"), action="crash")
+                crashes += 1
+            supervisor.pump(timeout=0.1)
+        assert supervisor.breaker_open
+        assert supervisor.restarts <= 2
+        # Open breaker: no new processes, ever — degraded mode is the
+        # dispatcher's job from here.
+        supervisor.heal()
+        assert supervisor.alive_workers() == 0
+    finally:
+        supervisor.stop()

@@ -1,0 +1,129 @@
+"""SIGINT/SIGTERM mid-sweep: graceful interrupt, clean checkpoint, and a
+byte-identical ``--resume`` completion.
+
+``repro sweep run`` runs as a real subprocess; the signal lands after the
+first point artifact exists (so the run is provably mid-flight).  The
+contract under test:
+
+* exit code 130 with a "rerun with --resume" hint (no traceback);
+* no stale ``.tmp`` files — the in-flight atomic write completed or never
+  happened;
+* the telemetry sidecar is consistent (``interrupted: true``, computed +
+  skipped adds up);
+* a ``--resume`` run finishes the grid, and the resulting artifact tree is
+  **byte-identical** to a never-interrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+GRID = "smoke"
+SWEEP_ARGS = ["sweep", "run", GRID, "--fast"]
+
+
+def sweep_env(cache_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env.pop("REPRO_FAULTS", None)
+    return env
+
+
+def run_sweep(cache_dir, *extra):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *SWEEP_ARGS, *extra],
+        env=sweep_env(cache_dir), capture_output=True, text=True, timeout=600,
+    )
+
+
+def points_dir(cache_dir):
+    return Path(cache_dir) / "artifacts" / "sweeps" / GRID / "fast" / "points"
+
+
+def artifact_bytes(cache_dir):
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(points_dir(cache_dir).glob("*.json"))
+    }
+
+
+def interrupt_mid_sweep(cache_dir, signum):
+    """Start a sweep, deliver ``signum`` once the first artifact lands."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", *SWEEP_ARGS],
+        env=sweep_env(cache_dir),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    directory = points_dir(cache_dir)
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        if any(directory.glob("*.json")):
+            break
+        if process.poll() is not None:
+            raise AssertionError(
+                f"sweep finished before it could be interrupted:\n{process.stdout.read()}"
+            )
+        time.sleep(0.02)
+    process.send_signal(signum)
+    output, _ = process.communicate(timeout=120)
+    return process.returncode, output
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_interrupt_checkpoints_and_resume_is_byte_identical(tmp_path, signum):
+    clean = tmp_path / "clean"
+    interrupted = tmp_path / "interrupted"
+    clean.mkdir()
+    interrupted.mkdir()
+
+    completed = run_sweep(clean)
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    reference = artifact_bytes(clean)
+
+    returncode, output = interrupt_mid_sweep(interrupted, signum)
+    assert returncode == 130, output
+    assert "rerun with --resume" in output
+    assert "Traceback" not in output
+
+    # Clean checkpoint: whole artifacts only, no torn temp files anywhere.
+    sweep_root = points_dir(interrupted).parent
+    assert not list(sweep_root.rglob("*.tmp"))
+    partial = artifact_bytes(interrupted)
+    assert 0 < len(partial) < len(reference), (
+        "the interrupt should land mid-grid: "
+        f"{len(partial)} of {len(reference)} points"
+    )
+    for name, payload in partial.items():
+        assert payload == reference[name]  # every landed artifact is whole
+
+    # The telemetry sidecar agrees the run was interrupted, consistently.
+    telemetry = json.loads((sweep_root / "run_telemetry.json").read_text())
+    assert telemetry["interrupted"] is True
+    assert telemetry["computed"] == len(partial)
+
+    resumed = run_sweep(interrupted, "--resume")
+    assert resumed.returncode == 0, resumed.stdout + resumed.stderr
+    assert artifact_bytes(interrupted) == reference
+
+    # And the resumed tree aggregates identically too.
+    for cache in (clean, interrupted):
+        report = subprocess.run(
+            [sys.executable, "-m", "repro", "sweep", "report", GRID, "--fast"],
+            env=sweep_env(cache), capture_output=True, text=True, timeout=600,
+        )
+        assert report.returncode == 0, report.stdout + report.stderr
+    sweep_json = lambda cache: (points_dir(cache).parent / "sweep.json").read_bytes()
+    assert sweep_json(interrupted) == sweep_json(clean)
