@@ -145,17 +145,24 @@ class ExperimentConfig:
         in ``run_max_cycles``, ``kernels_per_benchmark``, the feature-sampling
         window or the Poise parameters must not share cached ``RunResult``s.
         The Poise parameters are summarised by a content digest to keep the
-        key readable.
+        key readable, and the *entire* GPU configuration by another — the
+        readable ``l1…`` tokens cover only the axes sweeps vary by name, so
+        any other architecture change (``num_sms``, memory timings, a field
+        added next year) must perturb the key through the digest (guarded by
+        ``tests/test_graph_workloads.py``).
         """
         l1 = self.gpu.l1
         run_knobs = repr((self.poise_params, self.feature_warmup, self.feature_cycles))
         poise_digest = hashlib.sha256(run_knobs.encode("utf-8")).hexdigest()[:8]
+        gpu_digest = hashlib.sha256(
+            repr(serialization.gpu_payload(self.gpu)).encode("utf-8")
+        ).hexdigest()[:8]
         return (
             f"{self.label}-l1{l1.size_bytes // 1024}k-{l1.indexing}"
             f"-pc{self.profile_cycles}-pw{self.profile_warmup}"
             f"-ns{self.profile_n_step}-ps{self.profile_p_step}"
             f"-rc{self.run_max_cycles}-kb{self.kernels_per_benchmark}"
-            f"-pp{poise_digest}"
+            f"-pp{poise_digest}-g{gpu_digest}"
         )
 
     # -- helpers -------------------------------------------------------------------
@@ -246,6 +253,7 @@ def clear_caches(config: Optional[ExperimentConfig] = None) -> None:
     _PROFILE_CACHE.clear()
     _RUN_CACHE.clear()
     _MODEL_CACHE.clear()
+    _GRAPH_RUN_CACHE.clear()
     if config is not None:
         DiskCache(config.cache_dir).clear()
 
@@ -620,6 +628,146 @@ def run_scheme_on_benchmark(
         energy_ratio=sum(energy_ratios) / count,
         kernel_results=kernel_results,
         telemetry=telemetry,
+    )
+
+
+# ---------------------------------------------------------------------------
+# DAG-structured kernel mixes
+# ---------------------------------------------------------------------------
+
+_GRAPH_RUN_CACHE: Dict[Tuple[str, str, str], "object"] = {}
+
+
+def mix_graph_for_benchmark(benchmark_name: str, config: ExperimentConfig, mix: str):
+    """The :class:`~repro.workloads.graph.KernelGraph` a ``kernel_mix`` axis
+    value denotes: the benchmark's (limited) kernels, padded to at least two
+    nodes with deterministic seed variants, arranged in the named shape."""
+    from repro.workloads.graph import mix_graph
+
+    benchmark = get_benchmark(benchmark_name)
+    kernels = config.limited_kernels(benchmark)
+    return mix_graph(kernels, mix, name=f"{benchmark_name}-{mix}")
+
+
+def _graph_key_payload(graph, config: ExperimentConfig) -> dict:
+    """Everything that determines a graph run's ``GraphRunResult``."""
+    return {
+        "kind": "graph-run",
+        "version": __version__,
+        "code": serialization.code_fingerprint(),
+        "graph": graph.payload(),
+        "gpu": serialization.gpu_payload(config.gpu),
+        "run_max_cycles": config.run_max_cycles,
+    }
+
+
+def run_graph_for_config(
+    graph, config: ExperimentConfig, use_cache: bool = True
+):
+    """Run a kernel graph on ``config.gpu``'s chip (memory + disk cached).
+
+    The cycle budget is ``run_max_cycles`` per node, pooled, so serial
+    chains get the same per-kernel budget a single-kernel run would.
+    """
+    key = (
+        hashlib.sha256(
+            repr(serialization.encode_value(graph.payload())).encode("utf-8")
+        ).hexdigest()[:16],
+        config.cache_key,
+        "graph",
+    )
+    if use_cache and key in _GRAPH_RUN_CACHE:
+        return _GRAPH_RUN_CACHE[key]
+    disk = disk_cache(config) if use_cache else None
+    payload = _graph_key_payload(graph, config) if disk is not None else None
+    if disk is not None:
+        cached = disk.load(payload)
+        if cached is not None:
+            try:
+                result = serialization.graph_result_from_dict(cached)
+            except (KeyError, TypeError, ValueError):
+                result = None  # malformed entry: fall through and recompute
+            if result is not None:
+                _GRAPH_RUN_CACHE[key] = result
+                return result
+    gpu = GPU(config.gpu)
+    budget = config.run_max_cycles * max(1, len(graph.nodes))
+    with phase("simulate"):
+        result = gpu.run_graph(graph, max_cycles=budget)
+    if use_cache:
+        _GRAPH_RUN_CACHE[key] = result
+        if disk is not None:
+            disk.store(payload, serialization.graph_result_to_dict(result))
+    return result
+
+
+def run_mix_on_benchmark(
+    benchmark_name: str,
+    config: ExperimentConfig,
+    mix: str,
+    use_cache: bool = True,
+) -> BenchmarkOutcome:
+    """Run a benchmark's ``kernel_mix`` graph and aggregate chip-level metrics.
+
+    The reference is each node run *alone* on a single SM under GTO (the
+    contention-free serial execution), so the outcome's ratios measure what
+    the chip model adds: ``speedup`` is the co-scheduling speedup (serial
+    reference cycles over graph makespan — above 1 when SM-level parallelism
+    wins, below when memory contention eats it), ``aml_ratio`` and
+    ``energy_ratio`` are contention inflation factors, and ``ipc`` is the
+    chip-level aggregate (all instructions over the makespan).
+    """
+    graph = mix_graph_for_benchmark(benchmark_name, config, mix)
+    graph_result = run_graph_for_config(graph, config, use_cache=use_cache)
+    reference_config = (
+        config
+        if config.gpu.num_sms == 1
+        else config.with_gpu(replace(config.gpu, num_sms=1))
+    )
+    reference_counters = None
+    reference_cycles = 0
+    reference_energy_pj = 0.0
+    for node in graph.nodes:
+        reference = run_scheme_on_kernel(
+            "gto", node, reference_config, use_cache=use_cache
+        )
+        reference_cycles += reference.cycles
+        reference_energy_pj += reference.energy.total_pj
+        reference_counters = (
+            reference.counters
+            if reference_counters is None
+            else reference_counters + reference.counters
+        )
+    aggregate = graph_result.aggregate
+    makespan = graph_result.makespan
+    energy_uj = sum(
+        result.energy.total_uj for result in graph_result.node_results.values()
+    )
+    energy_pj = sum(
+        result.energy.total_pj for result in graph_result.node_results.values()
+    )
+    reference_aml = reference_counters.aml if reference_counters is not None else 0.0
+    return BenchmarkOutcome(
+        benchmark=benchmark_name,
+        scheme="gto",
+        speedup=(reference_cycles / makespan) if makespan else 0.0,
+        ipc=graph_result.aggregate_ipc,
+        l1_hit_rate=aggregate.l1_hit_rate,
+        aml=aggregate.aml,
+        aml_ratio=(aggregate.aml / reference_aml) if reference_aml else 1.0,
+        energy_uj=energy_uj,
+        energy_ratio=(energy_pj / reference_energy_pj) if reference_energy_pj else 1.0,
+        kernel_results=dict(graph_result.node_results),
+        telemetry={
+            "graph": {
+                "mix": mix,
+                "name": graph.name,
+                "num_sms": graph_result.num_sms,
+                "makespan": makespan,
+                "completed": graph_result.completed,
+                "schedule": [entry.as_dict() for entry in graph_result.schedule],
+            }
+        },
     )
 
 

@@ -32,8 +32,13 @@ class Table03bArchitecture(ExperimentBase):
                 columns=["parameter", "paper", "this model"],
             )
         )
+        simulated = (
+            f"{gpu.num_sms} simulated, sharing L2/DRAM"
+            if gpu.num_sms > 1
+            else f"{gpu.num_sms} simulated (symmetric single-SM view)"
+        )
         rows = [
-            ("SMs", "32", f"{gpu.num_sms} (1 simulated, symmetric)"),
+            ("SMs", "32", simulated),
             ("Schedulers per SM", "2 x GTO", "1 x GTO (per-scheduler view)"),
             ("Max warps per scheduler", "24", str(gpu.sm.max_warps)),
             ("Max threads per SM", "1536", str(gpu.sm.max_warps * gpu.sm.warp_size * 2)),

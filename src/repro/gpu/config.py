@@ -4,7 +4,9 @@ The defaults follow Table IIIb of the paper, scaled to the single-SM /
 single-scheduler view used throughout the reproduction (see DESIGN.md §2).
 The paper's GPU has 32 SMs with two schedulers per SM and 24 warps per
 scheduler; Poise's warp-tuples live in the per-scheduler space ``[1..24]²``,
-which is exactly what this model exposes.
+which is exactly what this model exposes.  Setting ``num_sms > 1`` simulates
+that many SMs against one shared L2/DRAM pair (see ``repro.gpu.chip``);
+``num_sms = 1`` keeps the seed's single-SM model bit-for-bit.
 """
 
 from __future__ import annotations
@@ -111,9 +113,25 @@ class GPUConfig:
     )
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     energy: EnergyConfig = field(default_factory=EnergyConfig)
-    num_sms: int = 32
+    #: Number of SMs actually simulated.  1 (the default) is the paper's
+    #: single-SM / single-scheduler view — the other 31 SMs of the chip are
+    #: folded into the per-SM memory shares above.  Values > 1 instantiate a
+    #: chip model: that many SMs time-multiplexed against one shared L2/DRAM
+    #: busy-server pair, so inter-SM contention becomes measurable.
+    num_sms: int = 1
+    #: Chip interleave quantum in cycles: with ``num_sms > 1`` every SM is
+    #: advanced to the next multiple of this absolute-cycle grid before any SM
+    #: crosses it, which makes the interleaved memory-request order (and hence
+    #: all counters) independent of controller window sizes and engines.
+    sm_quantum: int = 100
     max_cycles: int = 200_000
     track_reuse_distance: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1:
+            raise ValueError("num_sms must be >= 1")
+        if self.sm_quantum < 1:
+            raise ValueError("sm_quantum must be >= 1")
 
     @property
     def max_warps(self) -> int:

@@ -206,6 +206,7 @@ class FastStreamingMultiprocessor:
         programs: Sequence[Sequence[Instruction]],
         cache_policy: Optional[CacheManagementPolicy] = None,
         trace_capture=None,
+        memory: Optional[FastMemorySubsystem] = None,
     ) -> None:
         if len(programs) > config.sm.max_warps:
             raise ValueError(
@@ -263,7 +264,9 @@ class FastStreamingMultiprocessor:
         # -- MSHR / memory ----------------------------------------------------
         self._mshr_capacity = l1.mshr_entries
         self._mshr_lines: set = set()
-        self.memory = FastMemorySubsystem(config.memory)
+        # ``memory`` lets a chip model (repro.gpu.chip) share one L2/DRAM
+        # busy-server pair across SMs; standalone SMs own a private one.
+        self.memory = memory if memory is not None else FastMemorySubsystem(config.memory)
 
         # -- bookkeeping -------------------------------------------------------
         self.counters = PerfCounters()

@@ -50,6 +50,7 @@ class StreamingMultiprocessor:
         programs: Sequence[Sequence[Instruction]],
         cache_policy: Optional[CacheManagementPolicy] = None,
         trace_capture=None,
+        memory: Optional[MemorySubsystem] = None,
     ) -> None:
         if len(programs) > config.sm.max_warps:
             raise ValueError(
@@ -61,7 +62,9 @@ class StreamingMultiprocessor:
         self.scheduler = GTOScheduler(self.warps, config.sm.max_warps)
         self.l1 = SetAssociativeCache(config.l1, name="l1")
         self.mshr = MSHRFile(config.l1.mshr_entries)
-        self.memory = MemorySubsystem(config.memory)
+        # ``memory`` lets a chip model (repro.gpu.chip) share one L2/DRAM
+        # busy-server pair across SMs; standalone SMs own a private one.
+        self.memory = memory if memory is not None else MemorySubsystem(config.memory)
         self.counters = PerfCounters()
         self.cache_policy = cache_policy or CacheManagementPolicy()
         self.reuse_tracker = ReuseDistanceTracker() if config.track_reuse_distance else None

@@ -335,8 +335,12 @@ def measure_trace_replay(
 
 def matrix_kernels() -> List[Dict[str, object]]:
     """Representative kernels for the bench matrix: the two synthetic
-    bracket kernels plus two structured trace families (regular stencil
-    reuse and dependent-gather pointer chasing)."""
+    bracket kernels, two structured trace families (regular stencil reuse
+    and dependent-gather pointer chasing), and a 2-SM chip bracket — the
+    memory-divergent kernel on two SMs sharing one L2/DRAM, so the chip
+    interleave loop's throughput is tracked per engine like any other
+    bracket.  An entry's optional ``num_sms`` widens the architecture for
+    that bracket only."""
     from repro.trace.families import family_kernel
 
     return [
@@ -352,6 +356,11 @@ def matrix_kernels() -> List[Dict[str, object]]:
         {
             "kind": "trace",
             "spec": family_kernel("gather", "bench_gather", seed=17),
+        },
+        {
+            "kind": "multi_sm",
+            "spec": replace(memory_divergent_kernel(), name="bench_multi_sm_divergent"),
+            "num_sms": 2,
         },
     ]
 
@@ -417,12 +426,13 @@ def measure_matrix(
     """
     kernels = list(kernels if kernels is not None else matrix_kernels())
     engines = [resolve_engine(engine) for engine in engines]
-    config = baseline_config(max_cycles=max_cycles)
     model = _matrix_model()
     rows: List[Dict[str, object]] = []
     profile_schemes = {"swl", "pcal", "static_best"}
     for entry in kernels:
         spec = entry["spec"]
+        num_sms = int(entry.get("num_sms", 1))
+        config = baseline_config(max_cycles=max_cycles, num_sms=num_sms)
         programs = generate_kernel_programs(spec)
         profile = None
         if profile_schemes.intersection(schemes):
@@ -449,6 +459,7 @@ def measure_matrix(
                 row = {
                     "kernel": spec.name,
                     "kind": entry["kind"],
+                    "num_sms": num_sms,
                     "scheme": scheme,
                     "cycles": result.counters.cycles,
                     "instructions": result.counters.instructions,

@@ -90,6 +90,46 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
     )
 
 
+def graph_result_to_dict(result) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.gpu.gpu.GraphRunResult` for the disk cache."""
+    return {
+        "node_results": {
+            name: run_result_to_dict(node) for name, node in result.node_results.items()
+        },
+        "schedule": [entry.as_dict() for entry in result.schedule],
+        "makespan": result.makespan,
+        "aggregate": counters_to_dict(result.aggregate),
+        "completed": result.completed,
+        "num_sms": result.num_sms,
+    }
+
+
+def graph_result_from_dict(data: Dict[str, Any]):
+    from repro.gpu.gpu import GraphRunResult
+    from repro.workloads.graph import ScheduledNode
+
+    return GraphRunResult(
+        node_results={
+            name: run_result_from_dict(node)
+            for name, node in data["node_results"].items()
+        },
+        schedule=tuple(
+            ScheduledNode(
+                name=entry["name"],
+                sm_slot=int(entry["sm_slot"]),
+                start_cycle=int(entry["start_cycle"]),
+                end_cycle=int(entry["end_cycle"]),
+                completed=bool(entry["completed"]),
+            )
+            for entry in data["schedule"]
+        ),
+        makespan=int(data["makespan"]),
+        aggregate=counters_from_dict(data["aggregate"]),
+        completed=bool(data["completed"]),
+        num_sms=int(data["num_sms"]),
+    )
+
+
 # -- static profiles -------------------------------------------------------------
 
 

@@ -23,6 +23,15 @@ and maps onto one knob of the evaluation machinery:
 ``feature_mask``
     Feature indices removed before (re)training the regression model
     (Fig. 13's axis); ``None`` means the full feature vector.
+``num_sms``
+    Number of simulated SMs sharing the L2/DRAM busy servers
+    (:class:`repro.gpu.chip.Chip`); ``None`` keeps the base config's count
+    (1, the seed's single-SM view).
+``kernel_mix``
+    A DAG shape name (``chain``/``fanout``/``diamond``/``parallel``): the
+    point runs the benchmark's kernels as a dependency graph through
+    ``GPU.run_graph`` instead of one kernel at a time.  Restricted to the
+    ``gto`` scheme — graph nodes run under the static list scheduler.
 
 Expansion is deterministic: axes iterate in :data:`AXIS_ORDER`, values in
 declaration order, so the same grid always yields the same tuple of frozen
@@ -55,6 +64,8 @@ AXIS_ORDER: Tuple[str, ...] = (
     "max_warps",
     "poise_strides",
     "feature_mask",
+    "num_sms",
+    "kernel_mix",
 )
 
 #: Value a point takes for an axis the grid does not declare.
@@ -67,6 +78,8 @@ AXIS_DEFAULTS: Dict[str, Any] = {
     "max_warps": None,
     "poise_strides": None,
     "feature_mask": None,
+    "num_sms": None,
+    "kernel_mix": None,
 }
 
 #: Number of features in the regression vector (Table II's x1..x8).
@@ -149,6 +162,20 @@ def canonical_axis_value(axis: str, value: Any) -> Any:
         if not indices or len(set(indices)) != len(indices):
             raise _axis_error(axis, value, expected + ", non-empty and duplicate-free")
         return tuple(sorted(indices))
+    if axis == "num_sms":
+        if value is None:
+            return None
+        return _check_int(axis, value, 1, "a positive SM count (or None to keep the baseline)")
+    if axis == "kernel_mix":
+        if value is None:
+            return None
+        from repro.workloads.graph import MIX_SHAPES
+
+        if not isinstance(value, str) or value not in MIX_SHAPES:
+            raise _axis_error(
+                axis, value, f"one of {', '.join(MIX_SHAPES)} (or None for single-kernel runs)"
+            )
+        return value
     raise ScenarioError(f"unknown axis {axis!r} (known axes: {', '.join(AXIS_ORDER)})")
 
 
@@ -164,6 +191,8 @@ class ScenarioPoint:
     max_warps: Optional[int] = None
     poise_strides: Optional[Tuple[int, int]] = None
     feature_mask: Optional[Tuple[int, ...]] = None
+    num_sms: Optional[int] = None
+    kernel_mix: Optional[str] = None
 
     def payload(self) -> Dict[str, Any]:
         """JSON-representable axis assignment (tuples become lists)."""
@@ -180,6 +209,8 @@ class ScenarioPoint:
             "feature_mask": (
                 list(self.feature_mask) if self.feature_mask is not None else None
             ),
+            "num_sms": self.num_sms,
+            "kernel_mix": self.kernel_mix,
         }
 
     @property
@@ -193,7 +224,7 @@ class ScenarioPoint:
         """Compact human-readable axis summary (non-default axes only)."""
         parts = [self.scheme, self.benchmark]
         for axis in ("engine", "l1_scale", "l1_indexing", "max_warps",
-                     "poise_strides", "feature_mask"):
+                     "poise_strides", "feature_mask", "num_sms", "kernel_mix"):
             value = getattr(self, axis)
             if value != AXIS_DEFAULTS[axis]:
                 parts.append(f"{axis}={value}")
@@ -214,6 +245,8 @@ class ScenarioPoint:
         gpu = config.gpu
         if self.max_warps is not None:
             gpu = replace(gpu, sm=replace(gpu.sm, max_warps=self.max_warps))
+        if self.num_sms is not None and self.num_sms != gpu.num_sms:
+            gpu = replace(gpu, num_sms=self.num_sms)
         if self.l1_scale != 1 or self.l1_indexing is not None:
             gpu = gpu.with_l1(
                 size_bytes=gpu.l1.size_bytes * self.l1_scale,
@@ -263,6 +296,7 @@ class ScenarioGrid:
         self.axes: Dict[str, Tuple[Any, ...]] = normalized
         self._check_warp_capacity()
         self._check_poise_axes()
+        self._check_kernel_mix_axes()
 
     def _check_warp_capacity(self) -> None:
         """Fail fast when a ``max_warps`` value cannot hold a benchmark's
@@ -300,6 +334,25 @@ class ScenarioGrid:
                     f"the scheme axis is Poise-based — every non-Poise point "
                     f"would be an identical re-simulation per axis value"
                 )
+
+    def _check_kernel_mix_axes(self) -> None:
+        """Reject ``kernel_mix`` under schemes that cannot drive a graph.
+
+        Graph nodes run under the deterministic list scheduler with static
+        GTO warp-tuples — a controller-driven scheme on a ``kernel_mix``
+        point would silently fall back to the same static run, emitting a
+        scheme comparison that *looks* measured but never was.
+        """
+        if not any(value is not None for value in self.axes.get("kernel_mix", ())):
+            return
+        schemes = self.axes.get("scheme", (AXIS_DEFAULTS["scheme"],))
+        offending = sorted(set(schemes) - {"gto"})
+        if offending:
+            raise ScenarioError(
+                f"grid {self.name!r}: axis 'kernel_mix' varies but scheme(s) "
+                f"{', '.join(repr(s) for s in offending)} cannot drive a kernel "
+                f"graph — DAG points run the static GTO list scheduler only"
+            )
 
     @property
     def size(self) -> int:

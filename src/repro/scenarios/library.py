@@ -126,9 +126,11 @@ def _builtin_grids() -> List[ScenarioGrid]:
                 "scheme": ("gto", "ccws"),
                 "benchmark": ("gather", "mvt"),
                 "engine": ("fast", "event"),
+                "num_sms": (None, 2),
             },
-            description="Tiny 2×2×2 grid for CI shard/union checks "
-            "(engine-pinned, so shards also exercise both hot-loop cores)",
+            description="Tiny 2×2×2×2 grid for CI shard/union checks "
+            "(engine-pinned, so shards also exercise both hot-loop cores; "
+            "the num_sms axis covers the single-SM and 2-SM chip paths)",
         ),
     ]
 
@@ -162,7 +164,7 @@ def parse_override_value(axis: str, token: str):
     token = token.strip()
     if token.lower() == "none":
         return None
-    if axis in ("l1_scale", "max_warps"):
+    if axis in ("l1_scale", "max_warps", "num_sms"):
         try:
             return int(token)
         except ValueError:

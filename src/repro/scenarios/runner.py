@@ -105,7 +105,11 @@ def evaluate_point(point: ScenarioPoint, base_config) -> Dict[str, Any]:
     the base platform and shared, so engine-pinned points differ in nothing
     but the core that executes them.
     """
-    from repro.experiments.common import run_scheme_on_benchmark, train_or_load_model
+    from repro.experiments.common import (
+        run_mix_on_benchmark,
+        run_scheme_on_benchmark,
+        train_or_load_model,
+    )
 
     config = point.experiment_config(base_config)
     model = None
@@ -114,9 +118,16 @@ def evaluate_point(point: ScenarioPoint, base_config) -> Dict[str, Any]:
         model = train_or_load_model(base_config, feature_mask=mask)
     use_cache = point.engine is None
     with pinned_engine(point.engine):
-        outcome = run_scheme_on_benchmark(
-            point.scheme, point.benchmark, config, model=model, use_cache=use_cache
-        )
+        if point.kernel_mix is not None:
+            # DAG point: the benchmark's kernels run as a dependency graph
+            # on the point's chip (grid validation pins the scheme to gto).
+            outcome = run_mix_on_benchmark(
+                point.benchmark, config, point.kernel_mix, use_cache=use_cache
+            )
+        else:
+            outcome = run_scheme_on_benchmark(
+                point.scheme, point.benchmark, config, model=model, use_cache=use_cache
+            )
     return outcome_metrics(outcome)
 
 
@@ -133,6 +144,13 @@ def outcome_metrics(outcome) -> Dict[str, Any]:
         }
         for name, result in sorted(outcome.kernel_results.items())
     }
+    graph = (
+        outcome.telemetry.get("graph") if isinstance(outcome.telemetry, dict) else None
+    )
+    if graph is not None:
+        # DAG points carry their deterministic schedule (content-stable:
+        # names, slots and cycle numbers only).
+        metrics["graph"] = graph
     return metrics
 
 

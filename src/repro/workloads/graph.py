@@ -1,0 +1,174 @@
+"""DAG-structured multi-kernel workloads.
+
+A :class:`KernelGraph` is a set of named kernel nodes (synthetic
+:class:`~repro.workloads.spec.KernelSpec` or file-backed
+``TraceKernelSpec``) plus dependency edges.  ``GPU.run_graph`` executes a
+graph on an ``num_sms``-wide chip with a deterministic list scheduler:
+ready nodes launch in topological order onto the lowest-numbered free SM
+at quantum boundaries, so the schedule — and therefore every counter — is
+a pure function of (graph, config, engine-family-identical arithmetic).
+
+``mix_graph`` builds the standard graph *shapes* the ``kernel_mix``
+scenario axis sweeps (chain / fanout / diamond / parallel) over a
+benchmark's kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.workloads.spec import KernelSpec
+
+
+class GraphError(ValueError):
+    """Raised for malformed kernel graphs (duplicate names, unknown edge
+    endpoints, cycles)."""
+
+
+#: The graph shapes the ``kernel_mix`` scenario axis accepts.
+MIX_SHAPES = ("chain", "fanout", "diamond", "parallel")
+
+
+@dataclass(frozen=True)
+class KernelGraph:
+    """An immutable, validated DAG of kernel specs.
+
+    ``nodes`` keeps launch priority: the list scheduler breaks readiness
+    ties by node position, so node order is part of the graph's identity
+    (and of its content payload).
+    """
+
+    nodes: Tuple[KernelSpec, ...]
+    edges: Tuple[Tuple[str, str], ...] = ()
+    name: str = "graph"
+
+    def __post_init__(self) -> None:
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise GraphError(f"duplicate node names in graph {self.name!r}: {names}")
+        known = set(names)
+        for src, dst in self.edges:
+            if src not in known or dst not in known:
+                raise GraphError(
+                    f"edge ({src!r}, {dst!r}) references unknown node "
+                    f"(graph {self.name!r} has {sorted(known)})"
+                )
+            if src == dst:
+                raise GraphError(f"self-edge on {src!r} in graph {self.name!r}")
+        self.topo_order()  # raises on cycles
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        return tuple(node.name for node in self.nodes)
+
+    def node(self, name: str) -> KernelSpec:
+        for candidate in self.nodes:
+            if candidate.name == name:
+                return candidate
+        raise GraphError(f"no node {name!r} in graph {self.name!r}")
+
+    def predecessors(self, name: str) -> Tuple[str, ...]:
+        return tuple(src for src, dst in self.edges if dst == name)
+
+    def successors(self, name: str) -> Tuple[str, ...]:
+        return tuple(dst for src, dst in self.edges if src == name)
+
+    def topo_order(self) -> Tuple[str, ...]:
+        """Deterministic Kahn order: among ready nodes, node position wins."""
+        names = self.node_names
+        indegree: Dict[str, int] = {name: 0 for name in names}
+        for _, dst in self.edges:
+            indegree[dst] += 1
+        order: List[str] = []
+        ready = [name for name in names if indegree[name] == 0]
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for successor in self.successors(current):
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    # Keep launch priority: insert in node-position order.
+                    ready.append(successor)
+                    ready.sort(key=names.index)
+        if len(order) != len(names):
+            stuck = sorted(name for name in names if name not in order)
+            raise GraphError(f"graph {self.name!r} has a cycle through {stuck}")
+        return tuple(order)
+
+    def payload(self) -> dict:
+        """Content identity for cache keys and trace manifests."""
+        from repro.runtime.serialization import spec_payload
+
+        return {
+            "name": self.name,
+            "nodes": [spec_payload(node) for node in self.nodes],
+            "edges": [list(edge) for edge in self.edges],
+        }
+
+
+def _shape_edges(names: Sequence[str], shape: str) -> Tuple[Tuple[str, str], ...]:
+    if shape == "parallel" or len(names) < 2:
+        return ()
+    if shape == "chain":
+        return tuple((names[i], names[i + 1]) for i in range(len(names) - 1))
+    if shape == "fanout":
+        return tuple((names[0], name) for name in names[1:])
+    if shape == "diamond":
+        if len(names) == 2:
+            return ((names[0], names[1]),)
+        middle = names[1:-1]
+        return tuple((names[0], name) for name in middle) + tuple(
+            (name, names[-1]) for name in middle
+        )
+    raise GraphError(f"unknown graph shape {shape!r} (known: {', '.join(MIX_SHAPES)})")
+
+
+def shaped_graph(
+    kernels: Sequence[KernelSpec], shape: str, name: str = "graph"
+) -> KernelGraph:
+    """Arrange ``kernels`` (in order) into one of the standard shapes."""
+    nodes = tuple(kernels)
+    return KernelGraph(nodes=nodes, edges=_shape_edges([k.name for k in nodes], shape), name=name)
+
+
+def mix_graph(
+    kernels: Sequence[KernelSpec], shape: str, name: str = "mix", min_nodes: int = 2
+) -> KernelGraph:
+    """The ``kernel_mix`` axis form: ``kernels`` padded to ``min_nodes``
+    with deterministic seed variants, then shaped.
+
+    Padding keeps tiny presets (``kernels_per_benchmark=1``) meaningful: a
+    one-node graph exercises neither dependencies nor co-residency.
+    """
+    if shape not in MIX_SHAPES:
+        raise GraphError(f"unknown kernel mix {shape!r} (known: {', '.join(MIX_SHAPES)})")
+    if not kernels:
+        raise GraphError("kernel mix needs at least one kernel")
+    padded: List[KernelSpec] = list(kernels)
+    index = 0
+    while len(padded) < min_nodes:
+        base = kernels[index % len(kernels)]
+        padded.append(base.variant(f"mix{index}", seed=base.seed + 101 + index))
+        index += 1
+    return shaped_graph(padded, shape, name=name)
+
+
+@dataclass(frozen=True)
+class ScheduledNode:
+    """One node's placement in a graph run."""
+
+    name: str
+    sm_slot: int
+    start_cycle: int
+    end_cycle: int
+    completed: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "sm_slot": self.sm_slot,
+            "start_cycle": self.start_cycle,
+            "end_cycle": self.end_cycle,
+            "completed": self.completed,
+        }

@@ -17,9 +17,14 @@ shared verification layer that proves it:
   interleavings of ``set_warp_tuple`` / ``run_cycles`` / ``snapshot`` (the
   access pattern of the PCAL/Poise sampling loops) — and returns the
   per-window counter trail for cross-engine comparison;
-* the Hypothesis strategies (:data:`kernel_specs`, :data:`small_archs`) and
-  the deterministic controller/model builders are shared by the
-  differential suite and any future engine's targeted tests.
+* :func:`run_graph_snapshot` / :func:`assert_graph_conformance` extend the
+  same contract to multi-SM chips running DAG workloads — the legacy N-SM
+  chip is the oracle, and every candidate must reproduce its schedule,
+  per-node counters and aggregate counters exactly;
+* the Hypothesis strategies (:data:`kernel_specs`, :data:`small_archs`,
+  :data:`multi_sm_archs`, :data:`small_graphs`) and the deterministic
+  controller/model builders are shared by the differential suite and any
+  future engine's targeted tests.
 
 To run the harness against a new engine: add its name to ``ENGINES``, map
 it in ``GPU.build_sm``, then ``PYTHONPATH=src python -m pytest
@@ -29,6 +34,7 @@ test in those files parameterizes over the registry.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional, Tuple
 
 from hypothesis import strategies as st
@@ -47,6 +53,7 @@ from repro.schedulers import (
     SWLController,
 )
 from repro.schedulers.pcal import PCALParameters
+from repro.workloads.graph import MIX_SHAPES, KernelGraph, shaped_graph
 from repro.workloads.spec import KernelSpec
 
 #: The specification: readable, heavily unit-tested, never optimised.
@@ -146,6 +153,56 @@ def assert_conformance(
         assert candidate == oracle, f"engine {engine!r} drifted from {ORACLE}"
 
 
+def run_graph_snapshot(
+    engine: str, config: GPUConfig, graph: KernelGraph,
+    max_cycles: Optional[int] = None,
+) -> dict:
+    """One DAG execution on one engine, reduced to comparable plain data.
+
+    The multi-SM analogue of :func:`run_snapshot`: the whole graph runs on
+    ``config.num_sms`` SMs sharing one memory subsystem, and everything that
+    could drift — per-node counters, the schedule (placements and cycle
+    spans), the makespan and the aggregated chip counters — is flattened
+    into one dict for cross-engine comparison.
+    """
+    result = GPU(config).run_graph(graph, max_cycles=max_cycles, engine=engine)
+    return {
+        "nodes": {
+            name: serialization.run_result_to_dict(node)
+            for name, node in sorted(result.node_results.items())
+        },
+        "schedule": [entry.as_dict() for entry in result.schedule],
+        "makespan": result.makespan,
+        "aggregate": serialization.counters_to_dict(result.aggregate),
+        "completed": result.completed,
+        "num_sms": result.num_sms,
+    }
+
+
+def assert_graph_conformance(
+    config: GPUConfig,
+    graph: KernelGraph,
+    max_cycles: Optional[int] = None,
+    engines: Optional[Tuple[str, ...]] = None,
+) -> None:
+    """Run the DAG on the legacy N-SM oracle, then on every candidate
+    engine, asserting bit-identical schedules and counters."""
+    oracle = run_graph_snapshot(ORACLE, config, graph, max_cycles=max_cycles)
+    for engine in engines if engines is not None else CANDIDATE_ENGINES:
+        candidate = run_graph_snapshot(engine, config, graph, max_cycles=max_cycles)
+        assert candidate["schedule"] == oracle["schedule"], (
+            f"engine {engine!r} scheduled the graph differently from {ORACLE}: "
+            f"{candidate['schedule']} != {oracle['schedule']}"
+        )
+        for name, node in oracle["nodes"].items():
+            for counter, value in node["counters"].items():
+                assert candidate["nodes"][name]["counters"][counter] == value, (
+                    f"node {name!r} counter {counter!r} drifted: {ORACLE}={value} "
+                    f"{engine}={candidate['nodes'][name]['counters'][counter]}"
+                )
+        assert candidate == oracle, f"engine {engine!r} drifted from {ORACLE} on the graph"
+
+
 def drive_windowed(
     engine: str, config: GPUConfig, programs,
     script: List[Tuple[int, int, int]], tail_cycles: int = 50_000,
@@ -184,6 +241,10 @@ kernel_specs = st.builds(
     seed=st.integers(0, 10_000),
 )
 
+#: Chip widths the multi-SM conformance sweeps cover — 1 proves the plain
+#: single-SM path survives, 2 and 4 exercise the shared-memory interleave.
+SM_COUNTS: Tuple[int, ...] = (1, 2, 4)
+
 small_archs = st.builds(
     lambda l1_lines, assoc, mshr, indexing: GPUConfig(
         sm=SMConfig(max_warps=12),
@@ -207,4 +268,31 @@ small_archs = st.builds(
     assoc=st.sampled_from([1, 2, 4]),
     mshr=st.integers(1, 6),
     indexing=st.sampled_from(["hash", "linear"]),
+)
+
+#: ``small_archs`` widened into chips: num_sms ∈ {1, 2, 4} SMs sharing one
+#: L2/DRAM, with a small quantum so the deterministic time-multiplexing
+#: grid is crossed many times per run.
+multi_sm_archs = st.builds(
+    lambda config, num_sms, quantum: replace(
+        config, num_sms=num_sms, sm_quantum=quantum
+    ),
+    config=small_archs,
+    num_sms=st.sampled_from(SM_COUNTS),
+    quantum=st.sampled_from([50, 100, 250]),
+)
+
+#: Small dependency graphs over distinct kernel variants: every shape the
+#: mix library knows (chain / fanout / diamond / parallel), 2–4 nodes.
+small_graphs = st.builds(
+    lambda specs, shape: shaped_graph(
+        tuple(
+            replace(spec, name=f"g{index}", seed=spec.seed + index)
+            for index, spec in enumerate(specs)
+        ),
+        shape,
+        name=f"conformance-{shape}",
+    ),
+    specs=st.lists(kernel_specs, min_size=2, max_size=4),
+    shape=st.sampled_from(MIX_SHAPES),
 )

@@ -40,7 +40,10 @@ class TestGPUConfig:
         config = baseline_config()
         assert config.max_warps == 24
         assert config.sm.warp_size == 32
-        assert config.num_sms == 32
+        # One simulated SM by default — the paper's 32 SMs are folded into
+        # the per-SM memory shares; num_sms > 1 opts into the chip model.
+        assert config.num_sms == 1
+        assert config.sm_quantum == 100
 
     def test_with_l1_scale_multiplies_capacity_only(self):
         config = baseline_config()

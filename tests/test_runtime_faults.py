@@ -366,8 +366,8 @@ def test_chaos_sweep_is_byte_identical_to_fault_free_run(tmp_path, monkeypatch):
     clean_payload = aggregate(grid, clean.config)
     clean_sweep = write_sweep_artifact(clean_payload, tmp_path / "clean")
 
-    # seed=0 over the 8 smoke points: crash targets point 0, oserror point 1
-    # (distinct, so both fire); one torn write and two cache faults on top.
+    # seed=0 over the 16 smoke points: crash and oserror target distinct
+    # points (so both fire); one torn write and two cache faults on top.
     monkeypatch.setenv(
         "REPRO_FAULTS",
         "seed=0,crash_delay=1.0,executor:crash:1,executor:oserror:1,"

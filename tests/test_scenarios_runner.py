@@ -297,7 +297,7 @@ def test_named_grids_are_valid_and_unique():
     for name, grid in grids.items():
         assert grid.name == name
         assert grid.size == len(grid.points())
-    assert grids["smoke"].size == 8  # the CI shard-check grid stays tiny
+    assert grids["smoke"].size == 16  # the CI shard-check grid stays tiny
 
 
 def test_get_grid_unknown_name():

@@ -281,7 +281,7 @@ def test_kill_dash_nine_recovery_is_byte_identical(tmp_path):
     process, client = start_daemon(served)
     try:
         result = client.wait(submitted["job_id"], timeout=300.0)
-        assert result["result"]["num_points"] == 4  # smoke grid, engine pinned
+        assert result["result"]["num_points"] == 8  # smoke grid, engine pinned
         health = client.health()
         assert "requeued" in health["recovery"]
     finally:

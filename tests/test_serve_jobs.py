@@ -82,8 +82,8 @@ def test_sweep_cost_is_the_point_count():
     sharded, _, shard_cost = canonicalize(
         {"kind": "sweep", "grid": "smoke", "shard": "1/2"}
     )
-    assert full_cost == 8  # the smoke grid is 2x2x2
-    assert shard_cost == 4
+    assert full_cost == 16  # the smoke grid is 2x2x2x2
+    assert shard_cost == 8
     assert full["aggregate"] is True  # default: unsharded runs aggregate
     assert sharded["aggregate"] is False  # a shard alone must not aggregate
     assert sharded["shard"] == "1/2"
@@ -113,7 +113,9 @@ def test_sweep_job_runs_resumable_and_aggregates(tmp_path, monkeypatch):
             "kind": "sweep",
             "grid": "smoke",
             "preset": "fast",
-            "overrides": ["engine=fast", "scheme=gto", "benchmark=gather"],
+            "overrides": [
+                "engine=fast", "scheme=gto", "benchmark=gather", "num_sms=none",
+            ],
         }
     )
     assert cost == 1
